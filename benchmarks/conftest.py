@@ -1,0 +1,55 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark both
+
+* times its core operation with ``pytest-benchmark`` (run with
+  ``pytest benchmarks/ --benchmark-only``), and
+* records the *metrics the paper's claims are about* (message counts, table
+  sizes, rule counts, ...) through the ``record`` fixture; those rows are
+  printed as per-experiment tables at the end of the run, mirroring the
+  experiment index in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+import pytest
+
+
+class MetricsCollector:
+    """Rows of (experiment, label, metrics dict), grouped for the final report."""
+
+    def __init__(self) -> None:
+        self.rows: "OrderedDict[str, List[tuple]]" = OrderedDict()
+
+    def add(self, experiment: str, label: str, **metrics: object) -> None:
+        self.rows.setdefault(experiment, []).append((label, metrics))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for experiment, rows in self.rows.items():
+            lines.append("")
+            lines.append(f"=== {experiment} ===")
+            for label, metrics in rows:
+                rendered = ", ".join(f"{key}={value}" for key, value in metrics.items())
+                lines.append(f"  {label:45s} {rendered}")
+        return "\n".join(lines)
+
+
+_COLLECTOR = MetricsCollector()
+
+
+@pytest.fixture
+def record():
+    """Record one or more metric rows for the final per-experiment report."""
+    return _COLLECTOR.add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _COLLECTOR.rows:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("Reproduced experiment metrics (see EXPERIMENTS.md):")
+        for line in _COLLECTOR.render().splitlines():
+            terminalreporter.write_line(line)

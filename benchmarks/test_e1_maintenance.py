@@ -1,0 +1,76 @@
+"""E1 — incremental provenance maintenance (architecture, Figure 1 / §2.2).
+
+Measures what the maintenance engine costs and shows that it is incremental:
+
+* execution time and provenance-table sizes with and without provenance
+  maintenance, across network sizes;
+* the cost of absorbing a single link change incrementally versus recomputing
+  the whole network state from scratch.
+"""
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import mincost
+
+SIZES = [6, 10, 14]
+
+
+def build(size, provenance):
+    net = topology.random_connected(size, edge_probability=0.3, seed=size)
+    return net, mincost.setup(net, provenance=provenance)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_maintenance_overhead_tables(benchmark, record, size):
+    """Time a full MINCOST run with provenance maintenance enabled."""
+
+    def run():
+        return build(size, provenance=True)
+
+    net, runtime = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert mincost.check_against_reference(runtime, net)
+    baseline_net, baseline = build(size, provenance=False)
+    sizes = runtime.provenance.table_sizes()
+    record(
+        "E1 provenance maintenance overhead (MINCOST)",
+        f"{size} nodes",
+        facts=runtime.total_facts(),
+        prov=sizes["prov"],
+        ruleExec=sizes["ruleExec"],
+        protocol_messages=runtime.message_stats().messages,
+        messages_without_provenance=baseline.message_stats().messages,
+    )
+    # Provenance rides on the existing protocol messages: the maintenance
+    # engine must not add any network traffic of its own.
+    assert runtime.message_stats().messages == baseline.message_stats().messages
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_incremental_update_vs_from_scratch(benchmark, record, size):
+    """Absorbing one link change incrementally touches far fewer events than a full rerun."""
+    net, runtime = build(size, provenance=True)
+    edge = sorted(net.edges)[0]
+    cost = net.cost(*edge)
+
+    def churn_one_link():
+        runtime.remove_link(*edge)
+        runtime.run_to_quiescence()
+        runtime.add_link(edge[0], edge[1], cost)
+        runtime.run_to_quiescence()
+
+    before = runtime.simulator.processed_events
+    benchmark.pedantic(churn_one_link, rounds=3, iterations=1)
+    incremental_events = (runtime.simulator.processed_events - before) / 3 / 2  # per change
+
+    fresh_net, fresh = build(size, provenance=True)
+    scratch_events = fresh.simulator.processed_events
+
+    record(
+        "E1 incremental vs from-scratch (events per topology change)",
+        f"{size} nodes",
+        incremental=int(incremental_events),
+        from_scratch=scratch_events,
+        ratio=round(scratch_events / max(incremental_events, 1), 1),
+    )
+    assert incremental_events < scratch_events

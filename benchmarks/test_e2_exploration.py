@@ -1,0 +1,60 @@
+"""E2 — interactive provenance exploration (Figure 2).
+
+Regenerates the three zoom levels of Figure 2 (system snapshot, relation
+table, single-tuple close-up) plus the hypertree layout and a focus change,
+and times how long building those views takes — the operations behind every
+click in the visualizer.
+"""
+
+import pytest
+
+from repro.core.keys import vid_for
+from repro.engine import topology
+from repro.engine.tuples import Fact
+from repro.protocols import mincost
+from repro.viz import HypertreeLayout, exploration_views, refocus
+
+
+@pytest.fixture(scope="module")
+def exploration_setup():
+    net = topology.random_connected(8, edge_probability=0.35, seed=7)
+    runtime = mincost.setup(net)
+    graph = runtime.provenance.build_graph()
+    rows = runtime.state("minCost")
+    target = max(rows, key=lambda row: row[2])
+    return runtime, graph, target
+
+
+def test_figure2_views(benchmark, record, exploration_setup):
+    runtime, graph, target = exploration_setup
+
+    views = benchmark(exploration_views, graph, "minCost", target)
+    assert set(views) == {"snapshot", "table", "tuple"}
+    record(
+        "E2 Figure 2 exploration views (MINCOST, 8 nodes)",
+        "zoom levels",
+        snapshot_lines=len(views["snapshot"].splitlines()),
+        table_rows=len(views["table"].splitlines()) - 1,
+        tuple_derivations=len(graph.derivations_of(vid_for(Fact.make("minCost", list(target))))),
+        graph_tuples=graph.tuple_count,
+        graph_rule_execs=graph.rule_exec_count,
+    )
+
+
+def test_hypertree_layout_and_refocus(benchmark, record, exploration_setup):
+    _runtime, graph, target = exploration_setup
+    root = vid_for(Fact.make("minCost", list(target)))
+
+    def layout_and_refocus():
+        layout = HypertreeLayout().compute(graph, root)
+        deepest = max(layout.values(), key=lambda placed: placed.depth)
+        return layout, refocus(layout, deepest.vertex_id)
+
+    layout, refocused = benchmark(layout_and_refocus)
+    assert all(placed.radius < 1.0 + 1e-9 for placed in refocused.values())
+    record(
+        "E2 hypertree layout (Figure 2 navigation)",
+        "layout + focus change",
+        vertices=len(layout),
+        max_depth=max(placed.depth for placed in layout.values()),
+    )

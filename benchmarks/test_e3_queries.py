@@ -1,0 +1,56 @@
+"""E3 — distributed provenance queries (§2.2 / §3).
+
+For the query types named in the paper (contributing base tuples /
+participating nodes / number of alternative derivations) this measures query
+latency (simulated and wall-clock) and network cost as the network grows.
+"""
+
+import pytest
+
+from repro.core.query import DistributedQueryEngine
+from repro.engine import topology
+from repro.protocols import mincost, path_vector
+
+SIZES = [6, 10, 14]
+
+
+def target_tuple(runtime):
+    """The most expensive minCost tuple: the deepest provenance tree."""
+    rows = runtime.state("minCost")
+    return list(max(rows, key=lambda row: row[2]))
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("mode", ["lineage", "participants", "count"])
+def test_query_cost_by_mode_and_size(benchmark, record, mode, size):
+    net = topology.random_connected(size, edge_probability=0.3, seed=size)
+    runtime = mincost.setup(net)
+    queries = DistributedQueryEngine(runtime)
+    target = target_tuple(runtime)
+
+    result = benchmark(queries.query, "minCost", target, mode)
+    record(
+        f"E3 provenance query cost ({mode})",
+        f"{size} nodes",
+        messages=result.stats.messages,
+        simulated_latency=round(result.stats.latency, 3),
+        nodes_visited=result.stats.nodes_visited,
+        answer_size=queries.reducer(mode).size(result.value),
+    )
+
+
+def test_query_cost_on_path_vector(benchmark, record):
+    """Path-vector provenance is deeper (paths carry their whole history)."""
+    net = topology.random_connected(10, edge_probability=0.3, seed=23)
+    runtime = path_vector.setup(net)
+    queries = DistributedQueryEngine(runtime)
+    source, destination, cost = max(runtime.state("bestPathCost"), key=lambda row: row[2])
+
+    result = benchmark(queries.lineage, "bestPathCost", [source, destination, cost])
+    record(
+        "E3 provenance query cost (path-vector lineage)",
+        "10 nodes",
+        messages=result.stats.messages,
+        nodes_visited=result.stats.nodes_visited,
+        contributing_links=len(result.value),
+    )

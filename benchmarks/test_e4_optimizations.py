@@ -1,0 +1,110 @@
+"""E4 — query optimisations reduce network traffic (§2.2 / §3).
+
+The paper demonstrates "that optimization techniques, such as caching and
+threshold-based pruning, effectively reduce the network traffic".  This
+benchmark issues the same workload of provenance queries with the
+optimisations off and on and reports the message counts.
+"""
+
+import pytest
+
+from repro.core.optimizations import QueryOptions
+from repro.core.query import DistributedQueryEngine
+from repro.engine import topology
+from repro.protocols import mincost, path_vector
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A converged path-vector network plus the query targets used as the workload."""
+    net = topology.random_connected(10, edge_probability=0.4, seed=31)
+    runtime = path_vector.setup(net)
+    rows = sorted(runtime.state("bestPathCost"), key=lambda row: -row[2])
+    targets = [list(row) for row in rows[:8]]
+    return runtime, targets
+
+
+def run_workload(runtime, targets, options, repetitions=2):
+    queries = DistributedQueryEngine(runtime)
+    messages = 0
+    latency = 0.0
+    cache_hits = 0
+    for _ in range(repetitions):
+        for target in targets:
+            result = queries.lineage("bestPathCost", target, options=options)
+            messages += result.stats.messages
+            latency += result.stats.latency
+            cache_hits += result.stats.cache_hits
+    return {"messages": messages, "latency": round(latency, 3), "cache_hits": cache_hits}
+
+
+def test_caching_reduces_traffic(benchmark, record, workload):
+    runtime, targets = workload
+    baseline = run_workload(runtime, targets, QueryOptions.baseline())
+    cached = benchmark.pedantic(
+        run_workload, args=(runtime, targets, QueryOptions(use_cache=True)), rounds=3, iterations=1
+    )
+    record(
+        "E4 caching (repeated lineage queries, path-vector, 10 nodes)",
+        "no optimisation",
+        **baseline,
+    )
+    record(
+        "E4 caching (repeated lineage queries, path-vector, 10 nodes)",
+        "per-node result caching",
+        **cached,
+    )
+    assert cached["messages"] < baseline["messages"]
+
+
+def test_threshold_pruning_reduces_traffic(benchmark, record):
+    """Pruning after the first derivation avoids exploring the alternatives."""
+    net = topology.random_connected(9, edge_probability=0.5, seed=17)
+    runtime = mincost.setup(net)
+    queries = DistributedQueryEngine(runtime)
+    rows = sorted(runtime.state("minCost"), key=lambda row: -row[2])
+    targets = [list(row) for row in rows[:8]]
+
+    def run(options):
+        total = 0
+        for target in targets:
+            total += queries.lineage("minCost", target, options=options).stats.messages
+        return total
+
+    baseline_messages = run(QueryOptions.baseline())
+    pruned_messages = benchmark.pedantic(
+        run,
+        args=(QueryOptions(traversal="sequential", threshold=1),),
+        rounds=3,
+        iterations=1,
+    )
+    record(
+        "E4 threshold pruning (lineage, dense MINCOST, 9 nodes)",
+        "parallel traversal, no pruning",
+        messages=baseline_messages,
+    )
+    record(
+        "E4 threshold pruning (lineage, dense MINCOST, 9 nodes)",
+        "sequential traversal, threshold=1",
+        messages=pruned_messages,
+    )
+    assert pruned_messages <= baseline_messages
+
+
+def test_all_optimizations_combined(benchmark, record, workload):
+    runtime, targets = workload
+    baseline = run_workload(runtime, targets, QueryOptions.baseline())
+    optimized = benchmark.pedantic(
+        run_workload, args=(runtime, targets, QueryOptions.optimized(threshold=3)), rounds=3, iterations=1
+    )
+    record(
+        "E4 all optimisations combined (path-vector workload)",
+        "baseline",
+        **baseline,
+    )
+    record(
+        "E4 all optimisations combined (path-vector workload)",
+        "cache + sequential + threshold",
+        **optimized,
+    )
+    assert optimized["messages"] < baseline["messages"]

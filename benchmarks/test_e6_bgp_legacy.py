@@ -1,0 +1,67 @@
+"""E6 — the legacy application use case: Quagga/BGP via the proxy (use case 2).
+
+Replays a synthetic RouteViews-style trace over a hierarchical AS topology,
+measures the cost of capturing provenance through the proxy and the "maybe"
+rules, and queries the derivation history / origin of routing entries.
+"""
+
+import pytest
+
+from repro.legacy.quagga import QuaggaDeployment
+from repro.legacy.routeviews import generate_trace
+
+
+@pytest.fixture(scope="module")
+def converged_deployment():
+    deployment = QuaggaDeployment(tier1_count=3, tier2_per_tier1=2, stubs_per_tier2=1, seed=2)
+    deployment.play_generated_trace(prefixes_per_stub=1, flap_probability=0.3, seed=5)
+    return deployment
+
+
+def test_trace_replay_and_capture(benchmark, record):
+    def replay():
+        deployment = QuaggaDeployment(tier1_count=2, tier2_per_tier1=2, stubs_per_tier2=1, seed=2)
+        deployment.play_generated_trace(prefixes_per_stub=1, flap_probability=0.3, seed=5)
+        return deployment
+
+    deployment = benchmark.pedantic(replay, rounds=2, iterations=1)
+    stats = deployment.proxy.stats
+    record(
+        "E6 trace replay through the proxy",
+        f"{deployment.as_topology.as_count()} ASes, {len(deployment.events_played)} trace events",
+        bgp_updates=deployment.bgp.stats.updates_sent,
+        outputs_explained_by_br1=stats.outputs_explained,
+        originations=stats.outputs_unexplained,
+        route_entries=stats.route_entries_recorded,
+        prov_rows=deployment.provenance.table_sizes()["prov"],
+        rule_exec_rows=deployment.provenance.table_sizes()["ruleExec"],
+    )
+    # every non-origination advertisement must be explained by the maybe rule
+    assert stats.outputs_explained + stats.outputs_unexplained == stats.outputs_recorded
+
+
+def test_route_entry_derivation_queries(benchmark, record, converged_deployment):
+    deployment = converged_deployment
+    # find a prefix that is still announced and the AS farthest from its origin
+    target = None
+    for event in deployment.events_played:
+        entries = deployment.route_entries(event.prefix)
+        if entries:
+            far = max(entries, key=lambda asn: len(entries[asn]))
+            target = (far, event.prefix, event.asn, len(entries[far]))
+    assert target is not None
+    far, prefix, origin, path_length = target
+
+    result = benchmark(deployment.derivation_of_route, far, prefix)
+    participants = deployment.participants_of_route(far, prefix)
+    record(
+        "E6 derivation history of a routing entry",
+        f"AS {far}, AS-path length {path_length}",
+        origin_as=origin,
+        lineage_size=len(result.value),
+        participants=len(participants.value),
+        query_messages=result.stats.messages,
+        nodes_visited=result.stats.nodes_visited,
+    )
+    assert {ref.location for ref in result.value} == {f"as{origin}"}
+    assert len(participants.value) == path_length + 1 or len(participants.value) == path_length

@@ -1,0 +1,84 @@
+"""E7 — diagnostic tasks (§3): root causes, cascading effects, participants."""
+
+import pytest
+
+from repro.analysis import (
+    cascading_effects,
+    explain_derivation,
+    impact_of_link_failure,
+    participant_contributions,
+    root_causes,
+)
+from repro.engine import topology
+from repro.protocols import path_vector
+
+
+@pytest.fixture(scope="module")
+def diagnosed_network():
+    net = topology.random_connected(9, edge_probability=0.35, seed=19)
+    runtime = path_vector.setup(net)
+    graph = runtime.provenance.build_graph()
+    paths = path_vector.best_paths(runtime)
+    (source, destination), path = max(paths.items(), key=lambda item: len(item[1]))
+    costs = {(s, d): c for (s, d, c) in runtime.state("bestPathCost")}
+    target = ["bestPath", [source, destination, path, costs[(source, destination)]]]
+    return net, runtime, graph, target, path
+
+
+def test_root_cause_tracing(benchmark, record, diagnosed_network):
+    _net, _runtime, graph, target, path = diagnosed_network
+    relation, values = target
+
+    causes = benchmark(root_causes, graph, relation, values)
+    explanation = explain_derivation(graph, relation, values, max_depth=3)
+    record(
+        "E7 root-cause tracing (longest selected path-vector route)",
+        f"route of {len(path)} hops",
+        root_causes=len(causes),
+        all_are_links=all(vertex.relation == "link" for vertex in causes),
+        explanation_lines=len(explanation.splitlines()),
+    )
+    assert len(causes) == len(path) - 1
+
+
+def test_cascading_effects_of_link_failure(benchmark, record, diagnosed_network):
+    net, runtime, graph, _target, path = diagnosed_network
+    a, b = path[0], path[1]
+    cost = net.cost(a, b)
+
+    # failing the (undirected) link removes both directed link tuples, so the
+    # potential impact is the union of both forward closures
+    potential = cascading_effects(graph, "link", [a, b, cost]) + cascading_effects(
+        graph, "link", [b, a, cost]
+    )
+    impact = benchmark.pedantic(
+        impact_of_link_failure, args=(runtime, a, b), kwargs={"restore": True}, rounds=2, iterations=1
+    )
+    record(
+        "E7 cascading effects of a link failure",
+        f"link {a}<->{b}",
+        potentially_affected=len({vertex.vid for vertex in potential}),
+        actually_removed=impact.removed_count(),
+        replacements_derived=impact.added_count(),
+    )
+    # everything actually removed was predicted as potentially affected
+    predicted = {(vertex.relation, vertex.values) for vertex in potential}
+    for relation, rows in impact.removed_tuples.items():
+        for row in rows:
+            assert (relation, row) in predicted
+
+
+def test_participant_determination(benchmark, record, diagnosed_network):
+    _net, _runtime, graph, target, path = diagnosed_network
+    relation, values = target
+
+    contributions = benchmark(participant_contributions, graph, relation, values)
+    record(
+        "E7 participants in a derivation",
+        f"route of {len(path)} hops",
+        participating_nodes=len(contributions),
+        total_rule_executions=sum(entry["rule_executions"] for entry in contributions.values()),
+    )
+    # every node along the selected path except the destination hosts part of
+    # the derivation (the destination only ever receives the announcement)
+    assert set(path[:-1]) <= set(contributions)

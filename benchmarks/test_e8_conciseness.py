@@ -1,0 +1,70 @@
+"""E8 — conciseness of declarative protocol specifications (§2.1).
+
+"Previous work has demonstrated that a variety of distributed systems ... can
+be specified and implemented in NDlog in orders of magnitude less lines of
+code than imperative implementations."  We compare the NDlog programs shipped
+in :mod:`repro.protocols` against straightforward imperative Python baselines
+(:mod:`benchmarks.imperative_baselines`), and also check that the two agree
+semantically.
+"""
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import library, mincost, path_vector, distance_vector, dsr
+
+from imperative_baselines import (
+    IMPERATIVE_IMPLEMENTATIONS,
+    distance_vector_imperative,
+    dsr_imperative,
+    imperative_line_count,
+    mincost_imperative,
+    path_vector_imperative,
+)
+
+
+@pytest.mark.parametrize("name", sorted(IMPERATIVE_IMPLEMENTATIONS))
+def test_specification_size(benchmark, record, name):
+    ndlog_lines = benchmark(library.ndlog_line_count, name)
+    ndlog_rules = library.ndlog_rule_count(name)
+    imperative_lines = imperative_line_count(name)
+    record(
+        "E8 specification conciseness (NDlog vs imperative Python)",
+        name,
+        ndlog_rules=ndlog_rules,
+        ndlog_lines=ndlog_lines,
+        imperative_lines=imperative_lines,
+        reduction=f"{imperative_lines / ndlog_lines:.1f}x",
+    )
+    assert ndlog_lines < imperative_lines
+
+
+def test_declarative_and_imperative_agree_semantically(benchmark, record):
+    net = topology.random_connected(8, edge_probability=0.35, seed=3)
+
+    def imperative_suite():
+        return (
+            mincost_imperative(net),
+            distance_vector_imperative(net),
+            {pair for pair in path_vector_imperative(net)},
+            dsr_imperative(net, net.nodes[0], net.nodes[-1]),
+        )
+
+    reference_costs, reference_hops, _pv_pairs, reference_routes = benchmark(imperative_suite)
+
+    mc = mincost.setup(net)
+    assert {(s, d): c for (s, d, c) in mc.state("minCost")} == reference_costs
+    dv = distance_vector.setup(net)
+    assert {(s, d): h for (s, d, h) in dv.state("bestHop")} == reference_hops
+    d = dsr.setup(net)
+    dsr.request_route(d, net.nodes[0], net.nodes[-1])
+    assert set(dsr.discovered_routes(d, net.nodes[0], net.nodes[-1])) == reference_routes
+
+    record(
+        "E8 semantic agreement (declarative vs imperative)",
+        "8-node random topology",
+        mincost_pairs=len(reference_costs),
+        distance_vector_pairs=len(reference_hops),
+        dsr_routes=len(reference_routes),
+        all_equal=True,
+    )

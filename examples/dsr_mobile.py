@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Dynamic source routing under mobility, with provenance kept up to date.
+
+The paper's declarative-networks use case includes DSR "in different
+environments (e.g. static vs mobile network)" and stresses that provenance is
+correctly maintained "as network state is incrementally recomputed as the
+underlying network topology changes".  This example drives a DSR network with
+a random-waypoint mobility model: links come and go, discovered source routes
+appear and disappear, and at every step the provenance of the surviving
+routes still refers only to links that currently exist.
+
+Run with::
+
+    python examples/dsr_mobile.py
+"""
+
+from repro import DistributedQueryEngine
+from repro.engine import topology
+from repro.engine.mobility import WaypointMobilityModel
+from repro.engine.runtime import NetTrailsRuntime
+from repro.protocols import dsr
+
+
+def main() -> None:
+    names = [f"m{i}" for i in range(6)]
+    model = WaypointMobilityModel(names, field_size=70.0, radio_range=38.0, seed=11)
+
+    net = topology.Topology(name="manet")
+    for name in names:
+        net.add_node(name)
+    runtime = NetTrailsRuntime(dsr.program(), net, provenance=True)
+    runtime.seed_links(run=True)
+    runtime.insert("request", ["m0", "m4"])
+    runtime.run_to_quiescence()
+    queries = DistributedQueryEngine(runtime)
+
+    print("time   event              routes m0 -> m4")
+    for event in model.events(duration=20.0, dt=2.0):
+        if event.kind == "up":
+            runtime.add_link(event.source, event.target, 1.0)
+        else:
+            runtime.remove_link(event.source, event.target)
+        runtime.run_to_quiescence()
+        routes = dsr.discovered_routes(runtime, "m0", "m4")
+        print(f"{event.time:5.1f}  {event.kind:4} {event.source}-{event.target}     "
+              f"{len(routes)} route(s)")
+
+    routes = dsr.discovered_routes(runtime, "m0", "m4")
+    if not routes:
+        print("\nm0 currently has no route to m4 (they drifted apart).")
+        return
+
+    best = min(routes, key=len)
+    print(f"\nShortest discovered route: {' -> '.join(best)}")
+    lineage = queries.lineage("sourceRoute", ["m0", "m4", best])
+    print("It depends on these facts:")
+    for ref in sorted(lineage.value, key=str):
+        print(f"  {ref}")
+    for ref in lineage.value:
+        if ref.relation == "link":
+            assert runtime.topology.has_edge(ref.values[0], ref.values[1]), "stale provenance!"
+    print("All contributing links still exist: provenance stayed consistent under mobility.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed editable in offline environments whose
+setuptools/pip are too old for PEP 660 editable installs
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "NetTrails reproduction: declarative platform for maintaining and "
+        "querying provenance in distributed systems"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

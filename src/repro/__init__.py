@@ -1,0 +1,48 @@
+"""NetTrails reproduction: declarative maintenance and querying of network provenance.
+
+This package reproduces, in pure Python, the system demonstrated in
+*"NetTrails: A Declarative Platform for Maintaining and Querying Provenance
+in Distributed Systems"* (SIGMOD 2011): a declarative networking engine
+executing NDlog programs over a simulated distributed system, the ExSPAN
+provenance maintenance and distributed query engines, legacy-application
+integration through a proxy and "maybe" rules, and log-store / visualization
+substitutes.
+
+Quickstart::
+
+    from repro import NetTrailsRuntime, DistributedQueryEngine
+    from repro.protocols import mincost
+    from repro.engine import topology
+
+    net = topology.ring(5)
+    runtime = NetTrailsRuntime(mincost.program(), net)
+    runtime.seed_links(run=True)
+
+    queries = DistributedQueryEngine(runtime)
+    result = queries.lineage("minCost", ["n0", "n2", 2.0])
+    print(result.value)       # the base link tuples this shortest path depends on
+"""
+
+from repro.errors import NetTrailsError
+from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.topology import Topology
+from repro.core.maintenance import ProvenanceEngine
+from repro.core.query import DistributedQueryEngine
+from repro.core.optimizations import QueryOptions
+from repro.core.queries import CustomQuery
+from repro.ndlog.parser import parse_program, parse_rule
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "NetTrailsError",
+    "NetTrailsRuntime",
+    "Topology",
+    "ProvenanceEngine",
+    "DistributedQueryEngine",
+    "QueryOptions",
+    "CustomQuery",
+    "parse_program",
+    "parse_rule",
+    "__version__",
+]

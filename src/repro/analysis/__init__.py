@@ -1,0 +1,29 @@
+"""Analytical and diagnostic tasks built on network provenance.
+
+The paper's demonstration plan: *"users can perform various analytical and
+diagnostic tasks simply by navigating in the provenance visualizer.  Examples
+include tracing back from root causes, monitoring cascading effects that
+result from network topology updates, and determining the parties that have
+participated in the derivation of a tuple."*
+
+* :mod:`repro.analysis.root_cause` — trace a tuple back to the base tuples
+  (root causes) it depends on and explain the derivation;
+* :mod:`repro.analysis.cascade` — forward analysis: which derived state is
+  (potentially or actually) affected by a base-tuple change, e.g. a link
+  failure;
+* :mod:`repro.analysis.participants` — which nodes participated in a
+  derivation and how much each contributed.
+"""
+
+from repro.analysis.root_cause import explain_derivation, root_causes
+from repro.analysis.cascade import cascading_effects, impact_of_link_failure
+from repro.analysis.participants import participant_contributions, participating_nodes
+
+__all__ = [
+    "explain_derivation",
+    "root_causes",
+    "cascading_effects",
+    "impact_of_link_failure",
+    "participant_contributions",
+    "participating_nodes",
+]

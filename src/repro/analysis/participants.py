@@ -1,0 +1,48 @@
+"""Participant analysis: which nodes took part in a derivation, and how much."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import ProvenanceError
+from repro.core.graph import ProvenanceGraph
+from repro.engine.tuples import Fact
+
+
+def _vid_of(graph: ProvenanceGraph, relation: str, values: Sequence[object]) -> str:
+    fact = Fact.make(relation, list(values))
+    matches = graph.find_tuples(relation, fact.values)
+    if not matches:
+        raise ProvenanceError(
+            f"tuple {relation}({', '.join(map(str, values))}) is not in the provenance graph"
+        )
+    return matches[0].vid
+
+
+def participating_nodes(
+    graph: ProvenanceGraph, relation: str, values: Sequence[object]
+) -> Set[object]:
+    """The set of nodes involved in any derivation of the given tuple."""
+    return graph.participating_nodes(_vid_of(graph, relation, values))
+
+
+def participant_contributions(
+    graph: ProvenanceGraph, relation: str, values: Sequence[object]
+) -> Dict[object, Dict[str, int]]:
+    """Per-node contribution to the derivation of one tuple.
+
+    For every participating node, reports how many tuples it stores and how
+    many rule executions it performed within the tuple's provenance subgraph
+    — the quantitative counterpart of "determining the parties that have
+    participated in the derivation of a tuple".
+    """
+    vid = _vid_of(graph, relation, values)
+    subgraph = graph.subgraph_rooted_at(vid)
+    contributions: Dict[object, Dict[str, int]] = {}
+    for vertex in subgraph.tuple_vertices():
+        entry = contributions.setdefault(vertex.location, {"tuples": 0, "rule_executions": 0})
+        entry["tuples"] += 1
+    for vertex in subgraph.rule_exec_vertices():
+        entry = contributions.setdefault(vertex.location, {"tuples": 0, "rule_executions": 0})
+        entry["rule_executions"] += 1
+    return contributions

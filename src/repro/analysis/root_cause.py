@@ -1,0 +1,78 @@
+"""Root-cause analysis: trace network state back to the base tuples that caused it."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ProvenanceError
+from repro.core.graph import ProvenanceGraph, TupleVertex
+from repro.core.keys import vid_for
+from repro.engine.tuples import Fact
+
+
+def _resolve(graph: ProvenanceGraph, relation: str, values: Sequence[object]) -> TupleVertex:
+    matches = graph.find_tuples(relation, tuple(Fact.make(relation, list(values)).values))
+    if not matches:
+        raise ProvenanceError(
+            f"tuple {relation}({', '.join(map(str, values))}) is not in the provenance graph"
+        )
+    return matches[0]
+
+
+def root_causes(
+    graph: ProvenanceGraph, relation: str, values: Sequence[object]
+) -> List[TupleVertex]:
+    """The base tuples that the given tuple (transitively) depends on.
+
+    This is the offline, whole-graph counterpart of the distributed lineage
+    query: use it when analysing a collected snapshot or a query-returned
+    subgraph.
+    """
+    vertex = _resolve(graph, relation, values)
+    return graph.base_tuples_of(vertex.vid)
+
+
+def explain_derivation(
+    graph: ProvenanceGraph,
+    relation: str,
+    values: Sequence[object],
+    max_depth: Optional[int] = None,
+) -> str:
+    """A human-readable explanation of how a tuple was derived.
+
+    Every line shows one step: which rule fired, at which node, and from
+    which input tuples — i.e. the textual narrative a user reads off the
+    provenance visualizer when tracing back from a symptom to its root
+    causes.
+    """
+    vertex = _resolve(graph, relation, values)
+    lines: List[str] = [f"Derivation of {vertex.label}:"]
+    seen: set = set()
+
+    def explain(vid: str, indent: int, depth: int) -> None:
+        prefix = "  " * indent
+        tuple_vertex = graph.tuple_vertex(vid)
+        if tuple_vertex.is_base and not graph.derivations_of(vid):
+            lines.append(f"{prefix}- {tuple_vertex.label} is a base tuple (root cause)")
+            return
+        if vid in seen:
+            lines.append(f"{prefix}- {tuple_vertex.label} (derivation already shown)")
+            return
+        seen.add(vid)
+        derivations = graph.derivations_of(vid)
+        if tuple_vertex.is_base:
+            lines.append(f"{prefix}- {tuple_vertex.label} is a base tuple (root cause)")
+        for derivation in derivations:
+            inputs = graph.inputs_of(derivation.rid)
+            input_labels = ", ".join(child.label for child in inputs)
+            lines.append(
+                f"{prefix}- {tuple_vertex.label} was derived by rule {derivation.rule_name} "
+                f"at {derivation.location} from [{input_labels}]"
+            )
+            if max_depth is not None and depth + 1 > max_depth:
+                continue
+            for child in inputs:
+                explain(child.vid, indent + 1, depth + 1)
+
+    explain(vertex.vid, 0, 0)
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""A small declarative query language for network provenance.
+
+The paper's ongoing-work section proposes "exploring distributed variants of
+graph-based provenance query languages such as ProQL for formulating queries
+and transformations over network provenance data".  This module provides a
+first step in that direction: a compact textual query language that compiles
+onto the distributed query engine, so users can ask for provenance without
+writing Python::
+
+    LINEAGE OF minCost("n0", "n2", 2.0)
+    PARTICIPANTS OF bestPathCost("n0", "n3", *) WITH CACHE
+    COUNT OF minCost("n0", *, *) SEQUENTIAL THRESHOLD 5
+    SUBGRAPH OF routeEntry("as109", "10.1.0.0/24", *) DEPTH 3 FROM "as100"
+
+Grammar (case-insensitive keywords)::
+
+    query    := mode 'OF' pattern clause*
+    mode     := 'LINEAGE' | 'PARTICIPANTS' | 'COUNT' | 'SUBGRAPH' | IDENT   (custom)
+    pattern  := relation '(' term (',' term)* ')'
+    term     := number | string | '*'
+    clause   := 'WITH' 'CACHE' | 'SEQUENTIAL' | 'PARALLEL'
+              | 'THRESHOLD' number | 'DEPTH' number | 'FROM' string
+
+``*`` terms make the pattern match every currently-stored tuple with the
+given ground attributes; one :class:`~repro.core.results.QueryResult` is
+returned per matching tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.ndlog import lexer
+from repro.ndlog.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, VARIABLE
+from repro.core.optimizations import (
+    QueryOptions,
+    TRAVERSAL_PARALLEL,
+    TRAVERSAL_SEQUENTIAL,
+)
+from repro.core.queries import (
+    QUERY_COUNT,
+    QUERY_LINEAGE,
+    QUERY_PARTICIPANTS,
+    QUERY_SUBGRAPH,
+)
+from repro.core.query import DistributedQueryEngine
+from repro.core.results import QueryResult
+
+#: Sentinel used for wildcard positions in a pattern.
+WILDCARD = object()
+
+_MODE_KEYWORDS = {
+    "lineage": QUERY_LINEAGE,
+    "participants": QUERY_PARTICIPANTS,
+    "count": QUERY_COUNT,
+    "subgraph": QUERY_SUBGRAPH,
+}
+
+
+@dataclass
+class ParsedQuery:
+    """The outcome of parsing one query string."""
+
+    mode: str
+    relation: str
+    pattern: Tuple[object, ...]
+    options: QueryOptions = field(default_factory=QueryOptions)
+    issued_at: Optional[object] = None
+
+    def is_ground(self) -> bool:
+        return all(term is not WILDCARD for term in self.pattern)
+
+    def matches(self, values: Sequence[object]) -> bool:
+        if len(values) != len(self.pattern):
+            return False
+        for term, value in zip(self.pattern, values):
+            if term is WILDCARD:
+                continue
+            if term != value:
+                return False
+        return True
+
+
+class _QueryParser:
+    def __init__(self, text: str):
+        self._tokens = [token for token in lexer.tokenize(text) if token.kind != EOF]
+        self._position = 0
+
+    def _error(self, message: str) -> QueryError:
+        return QueryError(f"{message} (while parsing provenance query)")
+
+    def _peek(self):
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self):
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._next()
+        if token.kind != SYMBOL or token.value != symbol:
+            raise self._error(f"expected {symbol!r}, found {token.value!r}")
+
+    def _keyword(self, token) -> Optional[str]:
+        if token is not None and token.kind in (IDENT, VARIABLE):
+            return str(token.value).lower()
+        return None
+
+    def parse(self) -> ParsedQuery:
+        mode_token = self._next()
+        mode_word = self._keyword(mode_token)
+        if mode_word is None:
+            raise self._error(f"expected a query mode, found {mode_token.value!r}")
+        mode = _MODE_KEYWORDS.get(mode_word, mode_word)
+
+        of_token = self._next()
+        if self._keyword(of_token) != "of":
+            raise self._error(f"expected 'OF' after the query mode, found {of_token.value!r}")
+
+        relation_token = self._next()
+        if relation_token.kind not in (IDENT, VARIABLE):
+            raise self._error(f"expected a relation name, found {relation_token.value!r}")
+        relation = str(relation_token.value)
+
+        pattern = self._parse_pattern()
+        options, issued_at = self._parse_clauses()
+        return ParsedQuery(
+            mode=mode,
+            relation=relation,
+            pattern=pattern,
+            options=options,
+            issued_at=issued_at,
+        )
+
+    def _parse_pattern(self) -> Tuple[object, ...]:
+        self._expect_symbol("(")
+        terms: List[object] = []
+        while True:
+            token = self._next()
+            if token.kind == SYMBOL and token.value == "*":
+                terms.append(WILDCARD)
+            elif token.kind in (NUMBER, STRING):
+                terms.append(token.value)
+            elif token.kind in (IDENT, VARIABLE):
+                # bare identifiers are treated as string constants (node names)
+                terms.append(str(token.value))
+            else:
+                raise self._error(f"unexpected pattern term {token.value!r}")
+            separator = self._next()
+            if separator.kind == SYMBOL and separator.value == ",":
+                continue
+            if separator.kind == SYMBOL and separator.value == ")":
+                break
+            raise self._error(f"expected ',' or ')' in pattern, found {separator.value!r}")
+        return tuple(terms)
+
+    def _parse_clauses(self) -> Tuple[QueryOptions, Optional[object]]:
+        use_cache = False
+        traversal = TRAVERSAL_PARALLEL
+        threshold: Optional[int] = None
+        max_depth: Optional[int] = None
+        issued_at: Optional[object] = None
+
+        while self._peek() is not None:
+            word = self._keyword(self._next())
+            if word == "with":
+                follower = self._keyword(self._next())
+                if follower != "cache":
+                    raise self._error(f"expected 'CACHE' after 'WITH', found {follower!r}")
+                use_cache = True
+            elif word == "cache":
+                use_cache = True
+            elif word == "sequential":
+                traversal = TRAVERSAL_SEQUENTIAL
+            elif word == "parallel":
+                traversal = TRAVERSAL_PARALLEL
+            elif word == "threshold":
+                threshold = self._parse_int("THRESHOLD")
+            elif word == "depth":
+                max_depth = self._parse_int("DEPTH")
+            elif word == "from":
+                token = self._next()
+                if token.kind not in (STRING, IDENT, VARIABLE, NUMBER):
+                    raise self._error(f"expected a node name after 'FROM', found {token.value!r}")
+                issued_at = token.value if token.kind in (STRING, NUMBER) else str(token.value)
+            else:
+                raise self._error(f"unknown clause {word!r}")
+
+        try:
+            options = QueryOptions(
+                use_cache=use_cache,
+                traversal=traversal,
+                threshold=threshold,
+                max_depth=max_depth,
+            )
+        except ValueError as exc:
+            raise QueryError(str(exc)) from exc
+        return options, issued_at
+
+    def _parse_int(self, clause: str) -> int:
+        token = self._next()
+        if token.kind != NUMBER:
+            raise self._error(f"expected a number after '{clause}', found {token.value!r}")
+        return int(token.value)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse one provenance query string."""
+    if not text or not text.strip():
+        raise QueryError("empty provenance query")
+    return _QueryParser(text).parse()
+
+
+class QueryLanguage:
+    """Run textual provenance queries against a :class:`DistributedQueryEngine`."""
+
+    def __init__(self, engine: DistributedQueryEngine):
+        self.engine = engine
+
+    def _matching_tuples(self, parsed: ParsedQuery) -> List[Tuple[object, ...]]:
+        runtime = self.engine.runtime
+        if parsed.is_ground():
+            return [parsed.pattern]
+        return [values for values in runtime.state(parsed.relation) if parsed.matches(values)]
+
+    def run(self, text: str) -> List[QueryResult]:
+        """Parse and execute *text*; one result per tuple matching the pattern."""
+        parsed = parse_query(text)
+        self.engine.reducer(parsed.mode)  # fail fast on unknown modes
+        matches = self._matching_tuples(parsed)
+        if not matches:
+            raise QueryError(
+                f"no stored {parsed.relation} tuple matches the pattern "
+                f"{tuple('*' if t is WILDCARD else t for t in parsed.pattern)}"
+            )
+        results: List[QueryResult] = []
+        for values in matches:
+            results.append(
+                self.engine.query(
+                    parsed.relation,
+                    list(values),
+                    mode=parsed.mode,
+                    options=parsed.options,
+                    at=parsed.issued_at,
+                )
+            )
+        return results
+
+    def run_one(self, text: str) -> QueryResult:
+        """Run a query expected to match exactly one tuple."""
+        results = self.run(text)
+        if len(results) != 1:
+            raise QueryError(
+                f"query matched {len(results)} tuples; use run() for wildcard patterns"
+            )
+        return results[0]

@@ -1,0 +1,363 @@
+"""ExSPAN maintenance engine: incremental, distributed provenance tables.
+
+The provenance graph is stored as two relational tables partitioned across
+the nodes of the system, exactly as in ExSPAN / the paper:
+
+* ``prov(@Loc, VID, RID, RLoc)`` — stored at the node ``Loc`` where the tuple
+  identified by ``VID`` resides; one entry per derivation of the tuple.  The
+  derivation is the rule execution ``RID`` which happened at node ``RLoc``
+  (``RID = BASE`` and ``RLoc = Loc`` for base tuples).
+* ``ruleExec(@RLoc, RID, Rule, Program, ChildVIDs)`` — stored at the node
+  ``RLoc`` where the rule fired; ``ChildVIDs`` are the input tuples of the
+  firing, which are always local to ``RLoc`` because rule bodies are
+  localized before execution.
+
+The engine is *incremental*: entries are added when the execution engine
+reports a rule firing / derivation and removed when the corresponding
+derivation is retracted, so the tables always reflect the provenance of the
+current network state — which is what lets NetTrails answer provenance
+queries while the protocols keep running.
+
+The :class:`ProvenanceEngine` object is shared by all nodes of a runtime, but
+its data is strictly partitioned into per-node :class:`NodeProvenanceStore`
+instances; the distributed query engine only ever reads the partition of the
+node a query step executes on, preserving the distribution semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProvenanceError, UnknownVertexError
+from repro.engine.compiler import CompiledProgram
+from repro.engine.evaluator import DerivationEffect
+from repro.engine.messages import ProvenanceTag
+from repro.engine.store import BASE_DERIVATION
+from repro.engine.tuples import Fact
+from repro.core.graph import ProvenanceGraph, RuleExecVertex, TupleVertex
+from repro.core.keys import BASE_RID, rid_for, vid_for
+
+
+@dataclass(frozen=True)
+class ProvEntry:
+    """One row of the ``prov`` table (the ``@Loc`` column is the store's node)."""
+
+    vid: str
+    rid: str
+    rloc: object
+
+    def as_row(self, location: object) -> Tuple[object, ...]:
+        return (location, self.vid, self.rid, self.rloc)
+
+
+@dataclass(frozen=True)
+class RuleExecEntry:
+    """One row of the ``ruleExec`` table (the ``@RLoc`` column is the store's node)."""
+
+    rid: str
+    rule_name: str
+    program_name: str
+    child_vids: Tuple[str, ...]
+    head_vid: str
+    head_location: object
+
+    def as_row(self, location: object) -> Tuple[object, ...]:
+        return (location, self.rid, self.rule_name, self.program_name, self.child_vids)
+
+
+class NodeProvenanceStore:
+    """The partition of the provenance tables stored at one node."""
+
+    def __init__(self, node_id: object):
+        self.node_id = node_id
+        #: vid -> set of ProvEntry (derivations of the tuple stored here)
+        self._prov: Dict[str, Set[ProvEntry]] = {}
+        #: rid -> RuleExecEntry for rules that fired here
+        self._rule_execs: Dict[str, RuleExecEntry] = {}
+        #: vid -> tuple descriptor for tuples this node has seen locally
+        self._tuple_info: Dict[str, Tuple[str, Tuple[object, ...]]] = {}
+        #: child vid -> set of rids (local rule execs that consumed it)
+        self._uses: Dict[str, Set[str]] = {}
+        #: bumped on every mutation; used by the query cache for invalidation
+        self.version = 0
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _bump(self) -> None:
+        self.version += 1
+
+    def record_tuple(self, fact: Fact) -> str:
+        vid = vid_for(fact)
+        self._tuple_info[vid] = (fact.relation, fact.values)
+        return vid
+
+    def add_prov(self, vid: str, rid: str, rloc: object) -> ProvEntry:
+        entry = ProvEntry(vid=vid, rid=rid, rloc=rloc)
+        self._prov.setdefault(vid, set()).add(entry)
+        self._bump()
+        return entry
+
+    def remove_prov(self, entry: ProvEntry) -> None:
+        entries = self._prov.get(entry.vid)
+        if entries is None:
+            return
+        entries.discard(entry)
+        if not entries:
+            del self._prov[entry.vid]
+        self._bump()
+
+    def add_rule_exec(self, entry: RuleExecEntry) -> None:
+        self._rule_execs[entry.rid] = entry
+        for child in entry.child_vids:
+            self._uses.setdefault(child, set()).add(entry.rid)
+        self._bump()
+
+    def remove_rule_exec(self, rid: str) -> None:
+        entry = self._rule_execs.pop(rid, None)
+        if entry is None:
+            return
+        for child in entry.child_vids:
+            uses = self._uses.get(child)
+            if uses is not None:
+                uses.discard(rid)
+                if not uses:
+                    del self._uses[child]
+        self._bump()
+
+    # -- queries ------------------------------------------------------------------
+
+    def prov_entries(self, vid: str) -> List[ProvEntry]:
+        return sorted(self._prov.get(vid, set()), key=lambda e: (e.rid, repr(e.rloc)))
+
+    def rule_exec(self, rid: str) -> RuleExecEntry:
+        if rid not in self._rule_execs:
+            raise UnknownVertexError(
+                f"rule execution {rid!r} is not recorded at node {self.node_id!r}"
+            )
+        return self._rule_execs[rid]
+
+    def has_rule_exec(self, rid: str) -> bool:
+        return rid in self._rule_execs
+
+    def tuple_info(self, vid: str) -> Tuple[str, Tuple[object, ...]]:
+        if vid not in self._tuple_info:
+            raise UnknownVertexError(f"tuple {vid!r} is not known at node {self.node_id!r}")
+        return self._tuple_info[vid]
+
+    def knows_tuple(self, vid: str) -> bool:
+        return vid in self._tuple_info
+
+    def uses_of(self, vid: str) -> List[str]:
+        """RIDs of local rule executions that consumed tuple *vid*."""
+        return sorted(self._uses.get(vid, set()))
+
+    def prov_table(self) -> List[Tuple[object, ...]]:
+        """The full local ``prov`` relation as rows ``(Loc, VID, RID, RLoc)``."""
+        rows = []
+        for vid in sorted(self._prov):
+            for entry in self.prov_entries(vid):
+                rows.append(entry.as_row(self.node_id))
+        return rows
+
+    def rule_exec_table(self) -> List[Tuple[object, ...]]:
+        """The full local ``ruleExec`` relation as rows ``(RLoc, RID, Rule, Program, ChildVIDs)``."""
+        return [self._rule_execs[rid].as_row(self.node_id) for rid in sorted(self._rule_execs)]
+
+    @property
+    def prov_count(self) -> int:
+        return sum(len(entries) for entries in self._prov.values())
+
+    @property
+    def rule_exec_count(self) -> int:
+        return len(self._rule_execs)
+
+
+class ProvenanceEngine:
+    """The system-wide (but per-node partitioned) provenance maintenance engine.
+
+    Instances implement the recorder protocol expected by
+    :class:`repro.engine.node.Node`:
+
+    * :meth:`record_rule_exec` / :meth:`remove_rule_exec` are called at the
+      node where a rule fires (or a firing is retracted);
+    * :meth:`record_support` / :meth:`remove_support` are called at the node
+      where a derived (or base) tuple is stored when a derivation is added or
+      removed.
+    """
+
+    def __init__(self, compiled: Optional[CompiledProgram] = None):
+        self.compiled = compiled
+        self._stores: Dict[object, NodeProvenanceStore] = {}
+        #: (node, fact, derivation_id) -> ProvEntry, so retractions can find
+        #: exactly the prov row that the corresponding insertion created.
+        self._support_index: Dict[Tuple[object, Fact, str], ProvEntry] = {}
+        self.events_processed = 0
+
+    # -- store access -------------------------------------------------------------
+
+    def store(self, node_id: object) -> NodeProvenanceStore:
+        if node_id not in self._stores:
+            self._stores[node_id] = NodeProvenanceStore(node_id)
+        return self._stores[node_id]
+
+    def node_ids(self) -> List[object]:
+        return sorted(self._stores, key=repr)
+
+    # -- recorder protocol (called by the execution engine) --------------------------
+
+    def record_rule_exec(self, exec_node: object, effect: DerivationEffect) -> ProvenanceTag:
+        """Record one rule firing at *exec_node*; return the tag to ship with the head."""
+        self.events_processed += 1
+        store = self.store(exec_node)
+        child_vids = []
+        for fact in effect.body_facts:
+            child_vids.append(store.record_tuple(fact))
+        head_vid = vid_for(effect.head_fact)
+        rid = rid_for(effect.rule_name, exec_node, child_vids)
+        store.add_rule_exec(
+            RuleExecEntry(
+                rid=rid,
+                rule_name=effect.rule_name,
+                program_name=effect.program_name,
+                child_vids=tuple(child_vids),
+                head_vid=head_vid,
+                head_location=effect.head_location,
+            )
+        )
+        return ProvenanceTag(
+            rule_name=effect.rule_name,
+            program_name=effect.program_name,
+            exec_node=exec_node,
+            rid=rid,
+        )
+
+    def remove_rule_exec(self, exec_node: object, effect: DerivationEffect) -> None:
+        """Remove the rule-execution entry for a retracted firing."""
+        self.events_processed += 1
+        store = self.store(exec_node)
+        child_vids = [vid_for(fact) for fact in effect.body_facts]
+        rid = rid_for(effect.rule_name, exec_node, child_vids)
+        store.remove_rule_exec(rid)
+
+    def record_support(
+        self,
+        node_id: object,
+        fact: Fact,
+        derivation_id: str,
+        tag: Optional[ProvenanceTag],
+    ) -> None:
+        """Record one derivation (prov entry) of *fact* at its home node."""
+        self.events_processed += 1
+        store = self.store(node_id)
+        vid = store.record_tuple(fact)
+        if tag is None or derivation_id == BASE_DERIVATION:
+            entry = store.add_prov(vid, BASE_RID, node_id)
+        else:
+            entry = store.add_prov(vid, tag.rid, tag.exec_node)
+        self._support_index[(node_id, fact, derivation_id)] = entry
+
+    def remove_support(self, node_id: object, fact: Fact, derivation_id: str) -> None:
+        """Remove the prov entry created for (*fact*, *derivation_id*) at *node_id*."""
+        self.events_processed += 1
+        entry = self._support_index.pop((node_id, fact, derivation_id), None)
+        if entry is None:
+            return
+        self.store(node_id).remove_prov(entry)
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def table_sizes(self) -> Dict[str, int]:
+        """Total sizes of the distributed provenance tables."""
+        prov = sum(store.prov_count for store in self._stores.values())
+        rule_execs = sum(store.rule_exec_count for store in self._stores.values())
+        return {"prov": prov, "ruleExec": rule_execs}
+
+    def per_node_sizes(self) -> Dict[object, Dict[str, int]]:
+        return {
+            node_id: {"prov": store.prov_count, "ruleExec": store.rule_exec_count}
+            for node_id, store in sorted(self._stores.items(), key=lambda item: repr(item[0]))
+        }
+
+    # -- graph assembly (centralized view for visualization / analysis) ---------------------
+
+    def vid_of(self, relation: str, values: Iterable[object]) -> str:
+        return vid_for(Fact.make(relation, list(values)))
+
+    def resolve_tuple(self, vid: str) -> Tuple[str, Tuple[object, ...], object]:
+        """Find (relation, values, location) of a tuple vertex by searching all partitions."""
+        for node_id, store in self._stores.items():
+            if store.knows_tuple(vid) and store.prov_entries(vid):
+                relation, values = store.tuple_info(vid)
+                return relation, values, node_id
+        # Fall back to any node that has seen the tuple (e.g. as a rule input).
+        for node_id, store in self._stores.items():
+            if store.knows_tuple(vid):
+                relation, values = store.tuple_info(vid)
+                return relation, values, node_id
+        raise UnknownVertexError(f"tuple vertex {vid!r} is unknown to every node")
+
+    def build_graph(self) -> ProvenanceGraph:
+        """Assemble the full provenance graph from the distributed tables.
+
+        This is a *centralized* convenience used by the log store, the
+        visualizer and the offline analysis helpers; the distributed query
+        engine never calls it.
+        """
+        graph = ProvenanceGraph()
+        # Tuple vertices, with base-ness from prov entries.
+        for node_id, store in self._stores.items():
+            for vid in sorted(store._prov):
+                relation, values = store.tuple_info(vid)
+                is_base = any(entry.rid == BASE_RID for entry in store.prov_entries(vid))
+                graph.add_tuple(
+                    TupleVertex(
+                        vid=vid,
+                        relation=relation,
+                        values=values,
+                        location=node_id,
+                        is_base=is_base,
+                    )
+                )
+        # Rule-execution vertices and their dataflow edges; input tuples are
+        # local to the executing node, so their descriptors are available.
+        for node_id, store in self._stores.items():
+            for rid in sorted(store._rule_execs):
+                entry = store.rule_exec(rid)
+                for child_vid in entry.child_vids:
+                    if not graph.has_tuple(child_vid):
+                        relation, values, location = self.resolve_tuple(child_vid)
+                        graph.add_tuple(
+                            TupleVertex(
+                                vid=child_vid,
+                                relation=relation,
+                                values=values,
+                                location=location,
+                                is_base=False,
+                            )
+                        )
+                if not graph.has_tuple(entry.head_vid):
+                    try:
+                        relation, values, location = self.resolve_tuple(entry.head_vid)
+                    except UnknownVertexError:
+                        continue
+                    graph.add_tuple(
+                        TupleVertex(
+                            vid=entry.head_vid,
+                            relation=relation,
+                            values=values,
+                            location=location,
+                            is_base=False,
+                        )
+                    )
+                graph.add_rule_exec(
+                    RuleExecVertex(
+                        rid=rid,
+                        rule_name=entry.rule_name,
+                        program_name=entry.program_name,
+                        location=node_id,
+                    ),
+                    entry.child_vids,
+                    entry.head_vid,
+                )
+        return graph

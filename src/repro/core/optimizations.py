@@ -1,0 +1,117 @@
+"""Query optimisations: caching, traversal orders, threshold-based pruning.
+
+The paper (§2.2): *"To reduce querying overhead, ExSPAN adopts a set of
+optimization techniques, which include caching previously queried results,
+leveraging alternative tree traversal orders, and performing threshold-based
+pruning."*
+
+* **Caching** — every node keeps a cache of completed (sub-)query results
+  keyed by (vid, query mode, pruning parameters).  Cached entries are tagged
+  with the global provenance version and are discarded when any provenance
+  table changes, which keeps the cache trivially consistent.
+* **Traversal orders** — a query can expand the alternative derivations of a
+  tuple either in parallel (all sub-queries dispatched at once; lowest
+  latency) or sequentially (one at a time; combined with pruning this avoids
+  sending sub-queries whose results would be discarded).
+* **Threshold-based pruning** — once the partial result reaches a
+  user-provided size threshold, remaining alternatives are not explored and
+  the result is marked truncated.  A maximum traversal depth is also
+  supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+TRAVERSAL_PARALLEL = "parallel"
+TRAVERSAL_SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Per-query optimisation settings."""
+
+    use_cache: bool = False
+    traversal: str = TRAVERSAL_PARALLEL
+    threshold: Optional[int] = None
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.traversal not in (TRAVERSAL_PARALLEL, TRAVERSAL_SEQUENTIAL):
+            raise ValueError(
+                f"traversal must be {TRAVERSAL_PARALLEL!r} or {TRAVERSAL_SEQUENTIAL!r}, "
+                f"not {self.traversal!r}"
+            )
+        if self.threshold is not None and self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+
+    def cache_key_part(self) -> Tuple[object, ...]:
+        """The part of the cache key that depends on the options.
+
+        Results are only comparable when pruning parameters match, so both
+        are part of the key; the traversal order does not change the result
+        and is excluded.
+        """
+        return (self.threshold, self.max_depth)
+
+    @staticmethod
+    def baseline() -> "QueryOptions":
+        """No optimisations: parallel traversal, no cache, no pruning."""
+        return QueryOptions()
+
+    @staticmethod
+    def optimized(threshold: Optional[int] = None) -> "QueryOptions":
+        """All optimisations on (sequential traversal enables early pruning)."""
+        return QueryOptions(
+            use_cache=True,
+            traversal=TRAVERSAL_SEQUENTIAL,
+            threshold=threshold,
+            max_depth=None,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    value: object
+    version: int
+
+
+class NodeQueryCache:
+    """Per-node cache of completed sub-query results.
+
+    Entries are validated against a *global* provenance version number: if any
+    provenance table anywhere changed since the entry was stored, the entry is
+    considered stale.  This is deliberately coarse — it can only produce false
+    invalidations, never stale answers.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, Tuple[object, ...]], _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def lookup(self, vid: str, mode: str, options: QueryOptions, version: int) -> Optional[object]:
+        key = (vid, mode, options.cache_key_part())
+        entry = self._entries.get(key)
+        if entry is None or entry.version != version:
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.value
+
+    def store(self, vid: str, mode: str, options: QueryOptions, version: int, value: object) -> None:
+        key = (vid, mode, options.cache_key_part())
+        self._entries[key] = _CacheEntry(value=value, version=version)
+        self.stores += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,597 @@
+"""ExSPAN distributed provenance query engine.
+
+Provenance is stored as distributed ``prov`` / ``ruleExec`` tables, so
+answering a query requires a *distributed traversal* of the provenance graph:
+the query starts at the node storing the queried tuple, follows its ``prov``
+entries to the nodes where the deriving rules fired, expands the rule
+executions' input tuples there, and so on recursively.  Partial results are
+combined bottom-up by the query's reducer (see :mod:`repro.core.queries`) and
+travel back as reply messages.
+
+Every hop is a real message through the simulated network, so the traffic
+statistics reported by :class:`DistributedQueryEngine.query` measure exactly
+the "network traffic" the paper's optimisation discussion refers to, and the
+optimisations of :mod:`repro.core.optimizations` (caching, traversal order,
+threshold pruning) visibly reduce it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+from repro.engine.messages import (
+    CATEGORY_PROVENANCE_QUERY,
+    CATEGORY_PROVENANCE_REPLY,
+)
+from repro.engine.node import Node
+from repro.engine.tuples import Fact
+from repro.core.keys import BASE_RID, vid_for
+from repro.core.maintenance import NodeProvenanceStore, ProvenanceEngine
+from repro.core.optimizations import (
+    NodeQueryCache,
+    QueryOptions,
+    TRAVERSAL_SEQUENTIAL,
+)
+from repro.core.queries import (
+    BUILTIN_REDUCERS,
+    ExecRef,
+    QueryReducer,
+    QUERY_COUNT,
+    QUERY_LINEAGE,
+    QUERY_PARTICIPANTS,
+    QUERY_SUBGRAPH,
+)
+from repro.core.results import QueryResult, QueryStats, TupleRef
+
+_REQUEST_KIND_TUPLE = "tuple"
+_REQUEST_KIND_EXEC = "exec"
+
+_ROOT_MARKER = "__root__"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A traversal step shipped to another node."""
+
+    query_id: str
+    request_id: str
+    kind: str  # "tuple" (resolve a tuple's provenance) or "exec" (expand a rule execution)
+    target: str  # vid or rid
+    mode: str
+    options: QueryOptions
+    depth: int
+    reply_to: object
+
+
+@dataclass(frozen=True)
+class QueryReply:
+    """The combined sub-result for one traversal step."""
+
+    query_id: str
+    request_id: str
+    value: object
+    truncated: bool
+    visited: FrozenSet[object]
+    cache_hits: int
+
+
+@dataclass
+class _Bundle:
+    """A sub-result plus its bookkeeping, as it travels up the traversal."""
+
+    value: object
+    truncated: bool = False
+    visited: FrozenSet[object] = frozenset()
+    cache_hits: int = 0
+
+
+@dataclass
+class _Subtask:
+    kind: str  # "immediate", "local-exec", "local-tuple", "remote-exec", "remote-tuple"
+    bundle: Optional[_Bundle] = None
+    target: Optional[str] = None      # vid or rid for local/remote subtasks
+    remote_node: Optional[object] = None
+
+
+@dataclass
+class _Frame:
+    frame_id: str
+    kind: str  # "tuple" or "exec"
+    target: str
+    mode: str
+    options: QueryOptions
+    depth: int
+    tuple_ref: Optional[TupleRef] = None
+    exec_ref: Optional[ExecRef] = None
+    subtasks: List[_Subtask] = field(default_factory=list)
+    collected: List[Optional[_Bundle]] = field(default_factory=list)
+    cursor: int = 0
+    outstanding: int = 0
+    truncated: bool = False
+    cached_bundle: Optional[_Bundle] = None
+    parent: Optional[Tuple[str, int]] = None  # (parent frame id, slot index)
+    remote_reply: Optional[Tuple[object, str, str]] = None  # (reply_to, query_id, request_id)
+    root_key: Optional[str] = None
+    query_id: str = ""
+
+
+class QueryAgent:
+    """The per-node part of the distributed query engine.
+
+    One agent runs at every node; it resolves traversal steps against the
+    node's partition of the provenance tables, spawns local sub-frames or
+    remote sub-requests, and combines the results with the query's reducer.
+    """
+
+    def __init__(self, node: Node, engine: "DistributedQueryEngine"):
+        self.node = node
+        self.engine = engine
+        self.cache = NodeQueryCache()
+        self._frames: Dict[str, _Frame] = {}
+        self._frame_seq = itertools.count(1)
+        self._request_seq = itertools.count(1)
+        self._pending_remote: Dict[str, Tuple[str, int]] = {}
+        node.register_handler(CATEGORY_PROVENANCE_QUERY, self._on_query)
+        node.register_handler(CATEGORY_PROVENANCE_REPLY, self._on_reply)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def _pstore(self) -> NodeProvenanceStore:
+        return self.engine.provenance.store(self.node.id)
+
+    def _new_frame_id(self) -> str:
+        return f"{self.node.id}/f{next(self._frame_seq)}"
+
+    def _new_request_id(self) -> str:
+        return f"{self.node.id}/r{next(self._request_seq)}"
+
+    def _reducer(self, mode: str) -> QueryReducer:
+        return self.engine.reducer(mode)
+
+    def _tuple_ref(self, vid: str) -> TupleRef:
+        store = self._pstore
+        if store.knows_tuple(vid):
+            relation, values = store.tuple_info(vid)
+        else:
+            relation, values = "<unknown>", (vid,)
+        return TupleRef(relation=relation, values=values, location=self.node.id)
+
+    # -- root entry points --------------------------------------------------------
+
+    def start_root(self, query_id: str, vid: str, mode: str, options: QueryOptions, root_key: str) -> None:
+        """Start a query for a tuple stored at this node (no network hop needed)."""
+        frame = self._make_tuple_frame(query_id, vid, mode, options, depth=0)
+        frame.root_key = root_key
+        self._activate(frame)
+
+    def start_remote_root(
+        self,
+        query_id: str,
+        vid: str,
+        home_node: object,
+        mode: str,
+        options: QueryOptions,
+        root_key: str,
+    ) -> None:
+        """Issue a query from this node for a tuple stored at *home_node*."""
+        request_id = self._new_request_id()
+        self._pending_remote[request_id] = (_ROOT_MARKER, 0)
+        self._root_keys = getattr(self, "_root_keys", {})
+        self._root_keys[request_id] = root_key
+        self.node.send(
+            home_node,
+            CATEGORY_PROVENANCE_QUERY,
+            QueryRequest(
+                query_id=query_id,
+                request_id=request_id,
+                kind=_REQUEST_KIND_TUPLE,
+                target=vid,
+                mode=mode,
+                options=options,
+                depth=0,
+                reply_to=self.node.id,
+            ),
+        )
+
+    # -- message handlers ------------------------------------------------------------
+
+    def _on_query(self, message) -> None:
+        request: QueryRequest = message.payload
+        if request.kind == _REQUEST_KIND_TUPLE:
+            frame = self._make_tuple_frame(
+                request.query_id, request.target, request.mode, request.options, request.depth
+            )
+        else:
+            frame = self._make_exec_frame(
+                request.query_id, request.target, request.mode, request.options, request.depth
+            )
+        frame.remote_reply = (request.reply_to, request.query_id, request.request_id)
+        self._activate(frame)
+
+    def _on_reply(self, message) -> None:
+        reply: QueryReply = message.payload
+        pending = self._pending_remote.pop(reply.request_id, None)
+        if pending is None:
+            return
+        bundle = _Bundle(
+            value=reply.value,
+            truncated=reply.truncated,
+            visited=reply.visited,
+            cache_hits=reply.cache_hits,
+        )
+        frame_id, slot = pending
+        if frame_id == _ROOT_MARKER:
+            root_key = self._root_keys.pop(reply.request_id)
+            bundle.visited = bundle.visited | frozenset({self.node.id})
+            self.engine._finish_root(root_key, bundle)
+            return
+        frame = self._frames.get(frame_id)
+        if frame is None:
+            return
+        self._deliver(frame, slot, bundle)
+
+    # -- frame construction -------------------------------------------------------------
+
+    def _make_tuple_frame(
+        self, query_id: str, vid: str, mode: str, options: QueryOptions, depth: int
+    ) -> _Frame:
+        frame = _Frame(
+            frame_id=self._new_frame_id(),
+            kind="tuple",
+            target=vid,
+            mode=mode,
+            options=options,
+            depth=depth,
+            tuple_ref=self._tuple_ref(vid),
+            query_id=query_id,
+        )
+        self._frames[frame.frame_id] = frame
+        reducer = self._reducer(mode)
+
+        if options.use_cache:
+            cached = self.cache.lookup(vid, mode, options, self.engine.global_version())
+            if cached is not None:
+                frame.cached_bundle = _Bundle(
+                    value=cached,
+                    truncated=False,
+                    visited=frozenset({self.node.id}),
+                    cache_hits=1,
+                )
+                return frame
+
+        if options.max_depth is not None and depth > options.max_depth:
+            frame.truncated = True
+            return frame  # no subtasks: treated as a leaf
+
+        for entry in self._pstore.prov_entries(vid):
+            if entry.rid == BASE_RID:
+                bundle = _Bundle(
+                    value=reducer.base_value(frame.tuple_ref),
+                    visited=frozenset({self.node.id}),
+                )
+                frame.subtasks.append(_Subtask(kind="immediate", bundle=bundle))
+            elif entry.rloc == self.node.id:
+                frame.subtasks.append(_Subtask(kind="local-exec", target=entry.rid))
+            else:
+                frame.subtasks.append(
+                    _Subtask(kind="remote-exec", target=entry.rid, remote_node=entry.rloc)
+                )
+        frame.collected = [None] * len(frame.subtasks)
+        return frame
+
+    def _make_exec_frame(
+        self, query_id: str, rid: str, mode: str, options: QueryOptions, depth: int
+    ) -> _Frame:
+        frame = _Frame(
+            frame_id=self._new_frame_id(),
+            kind="exec",
+            target=rid,
+            mode=mode,
+            options=options,
+            depth=depth,
+            query_id=query_id,
+        )
+        self._frames[frame.frame_id] = frame
+        store = self._pstore
+        if not store.has_rule_exec(rid):
+            # The firing was retracted while the query was in flight; report an
+            # empty, truncated sub-result rather than failing the whole query.
+            frame.truncated = True
+            frame.exec_ref = ExecRef(rid=rid, rule_name="<retracted>", program_name="", location=self.node.id)
+            return frame
+        entry = store.rule_exec(rid)
+        frame.exec_ref = ExecRef(
+            rid=rid,
+            rule_name=entry.rule_name,
+            program_name=entry.program_name,
+            location=self.node.id,
+        )
+        for child_vid in entry.child_vids:
+            frame.subtasks.append(_Subtask(kind="local-tuple", target=child_vid))
+        frame.collected = [None] * len(frame.subtasks)
+        return frame
+
+    # -- frame execution -------------------------------------------------------------------
+
+    def _activate(self, frame: _Frame) -> None:
+        if frame.cached_bundle is not None:
+            self._complete(frame, frame.cached_bundle)
+            return
+        if not frame.subtasks:
+            self._complete(frame, self._combine(frame))
+            return
+        if frame.options.traversal == TRAVERSAL_SEQUENTIAL:
+            self._dispatch_next(frame)
+        else:
+            frame.outstanding = len(frame.subtasks)
+            frame.cursor = len(frame.subtasks)
+            for index in range(len(frame.subtasks)):
+                self._execute_subtask(frame, index)
+
+    def _dispatch_next(self, frame: _Frame) -> None:
+        index = frame.cursor
+        frame.cursor += 1
+        frame.outstanding += 1
+        self._execute_subtask(frame, index)
+
+    def _execute_subtask(self, frame: _Frame, index: int) -> None:
+        subtask = frame.subtasks[index]
+        if subtask.kind == "immediate":
+            self._deliver(frame, index, subtask.bundle)
+            return
+        if subtask.kind == "local-exec":
+            child = self._make_exec_frame(
+                frame.query_id, subtask.target, frame.mode, frame.options, frame.depth
+            )
+            child.parent = (frame.frame_id, index)
+            self._activate(child)
+            return
+        if subtask.kind == "local-tuple":
+            child = self._make_tuple_frame(
+                frame.query_id, subtask.target, frame.mode, frame.options, frame.depth + 1
+            )
+            child.parent = (frame.frame_id, index)
+            self._activate(child)
+            return
+        # remote-exec (rule fired at another node)
+        request_id = self._new_request_id()
+        self._pending_remote[request_id] = (frame.frame_id, index)
+        self.node.send(
+            subtask.remote_node,
+            CATEGORY_PROVENANCE_QUERY,
+            QueryRequest(
+                query_id=frame.query_id,
+                request_id=request_id,
+                kind=_REQUEST_KIND_EXEC,
+                target=subtask.target,
+                mode=frame.mode,
+                options=frame.options,
+                depth=frame.depth,
+                reply_to=self.node.id,
+            ),
+        )
+
+    def _deliver(self, frame: _Frame, index: int, bundle: _Bundle) -> None:
+        frame.collected[index] = bundle
+        frame.outstanding -= 1
+        if frame.outstanding > 0:
+            return
+        if self._threshold_met(frame):
+            if frame.cursor < len(frame.subtasks):
+                frame.truncated = True  # pruning skipped the remaining alternatives
+            self._complete(frame, self._combine(frame))
+            return
+        if frame.cursor < len(frame.subtasks):
+            self._dispatch_next(frame)
+            return
+        self._complete(frame, self._combine(frame))
+
+    def _threshold_met(self, frame: _Frame) -> bool:
+        if frame.options.threshold is None:
+            return False
+        reducer = self._reducer(frame.mode)
+        partial = self._combine(frame)
+        return reducer.size(partial.value) >= frame.options.threshold
+
+    def _combine(self, frame: _Frame) -> _Bundle:
+        reducer = self._reducer(frame.mode)
+        bundles = [bundle for bundle in frame.collected if bundle is not None]
+        values = [bundle.value for bundle in bundles]
+        visited: FrozenSet[object] = frozenset({self.node.id})
+        truncated = frame.truncated
+        cache_hits = 0
+        for bundle in bundles:
+            visited |= bundle.visited
+            truncated = truncated or bundle.truncated
+            cache_hits += bundle.cache_hits
+        if frame.kind == "tuple":
+            value = reducer.tuple_value(frame.tuple_ref, values)
+        else:
+            value = reducer.exec_value(frame.exec_ref, values)
+        return _Bundle(value=value, truncated=truncated, visited=visited, cache_hits=cache_hits)
+
+    def _complete(self, frame: _Frame, bundle: _Bundle) -> None:
+        self._frames.pop(frame.frame_id, None)
+        if (
+            frame.kind == "tuple"
+            and frame.options.use_cache
+            and not bundle.truncated
+            and frame.cached_bundle is None
+        ):
+            self.cache.store(
+                frame.target,
+                frame.mode,
+                frame.options,
+                self.engine.global_version(),
+                bundle.value,
+            )
+        if frame.parent is not None:
+            parent_id, slot = frame.parent
+            parent = self._frames.get(parent_id)
+            if parent is not None:
+                self._deliver(parent, slot, bundle)
+            return
+        if frame.remote_reply is not None:
+            reply_to, query_id, request_id = frame.remote_reply
+            self.node.send(
+                reply_to,
+                CATEGORY_PROVENANCE_REPLY,
+                QueryReply(
+                    query_id=query_id,
+                    request_id=request_id,
+                    value=bundle.value,
+                    truncated=bundle.truncated,
+                    visited=bundle.visited,
+                    cache_hits=bundle.cache_hits,
+                ),
+            )
+            return
+        if frame.root_key is not None:
+            self.engine._finish_root(frame.root_key, bundle)
+
+
+class DistributedQueryEngine:
+    """Issue provenance queries against a running :class:`NetTrailsRuntime`.
+
+    The engine installs a :class:`QueryAgent` at every node; queries are
+    evaluated by distributed traversal with all inter-node steps travelling
+    through the simulated network, and the returned
+    :class:`~repro.core.results.QueryResult` reports the traffic and latency
+    the query cost.
+    """
+
+    def __init__(self, runtime, provenance: Optional[ProvenanceEngine] = None):
+        self.runtime = runtime
+        provenance = provenance if provenance is not None else runtime.provenance
+        if provenance is None:
+            raise QueryError(
+                "the runtime has no provenance engine; construct it with provenance=True"
+            )
+        self.provenance: ProvenanceEngine = provenance
+        self._reducers: Dict[str, QueryReducer] = dict(BUILTIN_REDUCERS)
+        self._agents: Dict[object, QueryAgent] = {}
+        for node_id, node in runtime.nodes.items():
+            self._agents[node_id] = QueryAgent(node, self)
+        self._completions: Dict[str, _Bundle] = {}
+        self._query_seq = itertools.count(1)
+
+    # -- reducers ---------------------------------------------------------------------
+
+    def register_query(self, reducer: QueryReducer) -> None:
+        """Register a custom query type (a :class:`~repro.core.queries.CustomQuery`)."""
+        self._reducers[reducer.name] = reducer
+
+    def reducer(self, mode: str) -> QueryReducer:
+        if mode not in self._reducers:
+            raise QueryError(
+                f"unknown query mode {mode!r}; known modes: {sorted(self._reducers)}"
+            )
+        return self._reducers[mode]
+
+    def global_version(self) -> int:
+        """A counter that changes whenever any provenance table changes anywhere."""
+        return sum(
+            self.provenance.store(node_id).version for node_id in self.provenance.node_ids()
+        )
+
+    def agent(self, node_id: object) -> QueryAgent:
+        return self._agents[node_id]
+
+    def _finish_root(self, root_key: str, bundle: _Bundle) -> None:
+        self._completions[root_key] = bundle
+
+    # -- query API ---------------------------------------------------------------------------
+
+    def query(
+        self,
+        relation: str,
+        values: Sequence[object],
+        mode: str = QUERY_LINEAGE,
+        options: Optional[QueryOptions] = None,
+        at: Optional[object] = None,
+    ) -> QueryResult:
+        """Run a provenance query for the tuple ``relation(values)``.
+
+        ``at`` is the node the query is issued from (defaults to the node
+        storing the tuple).  The simulator is run to quiescence so the result
+        is complete when this method returns.
+        """
+        options = options or QueryOptions.baseline()
+        self.reducer(mode)  # validate the mode before doing any work
+        fact = Fact.make(relation, values)
+        vid = vid_for(fact)
+        location = self.runtime.compiled.catalog.location_of(fact)
+        if location not in self.runtime.nodes:
+            raise QueryError(f"tuple {fact} is located at unknown node {location!r}")
+        if not self.runtime.node(location).store.contains(fact):
+            raise QueryError(f"tuple {fact} is not currently present at node {location!r}")
+
+        query_id = f"query{next(self._query_seq)}"
+        root_key = query_id
+        stats_before = self.runtime.network.stats.snapshot()
+        time_before = self.runtime.simulator.now
+
+        if at is None or at == location:
+            self._agents[location].start_root(query_id, vid, mode, options, root_key)
+        else:
+            if at not in self._agents:
+                raise QueryError(f"query issued at unknown node {at!r}")
+            self._agents[at].start_remote_root(query_id, vid, location, mode, options, root_key)
+
+        self.runtime.run_to_quiescence()
+        bundle = self._completions.pop(root_key, None)
+        if bundle is None:
+            raise QueryError(f"query {query_id} did not complete")
+
+        stats_after = self.runtime.network.stats.snapshot()
+        stats = QueryStats(
+            messages=int(stats_after["messages"]) - int(stats_before["messages"]),
+            bytes=int(stats_after["bytes"]) - int(stats_before["bytes"]),
+            latency=self.runtime.simulator.now - time_before,
+            nodes_visited=len(bundle.visited),
+            cache_hits=bundle.cache_hits,
+        )
+        return QueryResult(
+            mode=mode,
+            root=TupleRef(relation=relation, values=fact.values, location=location),
+            root_vid=vid,
+            value=bundle.value,
+            truncated=bundle.truncated,
+            stats=stats,
+        )
+
+    # -- convenience wrappers -------------------------------------------------------------------
+
+    def lineage(self, relation: str, values: Sequence[object], **kwargs) -> QueryResult:
+        """The set of base tuples contributing to the derivation of a tuple."""
+        return self.query(relation, values, mode=QUERY_LINEAGE, **kwargs)
+
+    def participants(self, relation: str, values: Sequence[object], **kwargs) -> QueryResult:
+        """The set of nodes involved in the derivation of a tuple."""
+        return self.query(relation, values, mode=QUERY_PARTICIPANTS, **kwargs)
+
+    def derivation_count(self, relation: str, values: Sequence[object], **kwargs) -> QueryResult:
+        """The total number of alternative derivations of a tuple."""
+        return self.query(relation, values, mode=QUERY_COUNT, **kwargs)
+
+    def subgraph(self, relation: str, values: Sequence[object], **kwargs) -> QueryResult:
+        """The provenance subgraph rooted at a tuple (for visualization)."""
+        return self.query(relation, values, mode=QUERY_SUBGRAPH, **kwargs)
+
+    # -- cache statistics -----------------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[object, Dict[str, int]]:
+        """Per-node cache hit/miss/store counters."""
+        return {
+            node_id: {
+                "hits": agent.cache.hits,
+                "misses": agent.cache.misses,
+                "stores": agent.cache.stores,
+                "entries": len(agent.cache),
+            }
+            for node_id, agent in sorted(self._agents.items(), key=lambda item: repr(item[0]))
+        }

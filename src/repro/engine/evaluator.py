@@ -1,0 +1,591 @@
+"""Per-node incremental NDlog evaluator.
+
+The :class:`LocalEvaluator` maintains, for one node, the consequences of the
+compiled program over the node's local tuple store.  It is *purely local*:
+it never touches the network.  Given a fact that has just appeared in (or
+disappeared from) the local store, it computes the set of rule firings and
+retractions this causes — the :class:`DerivationEffect` objects — and leaves
+it to the :class:`repro.engine.node.Node` to apply local effects and to ship
+remote ones as messages.
+
+The evaluator implements:
+
+* semi-naive (delta) evaluation, one update at a time,
+* derivation tracking (one firing record per distinct rule firing), which
+  both drives incremental deletion and feeds the provenance engine,
+* aggregates (``min``/``max``/``count``/``sum``/``avg``) maintained per
+  group with correct retract-and-replace behaviour when the aggregate value
+  changes, and
+* stratum-free negation: firings are retracted when a fact matching one of
+  their negative literals appears, and re-derived when it disappears.
+
+Deletion semantics: incremental deletion uses derivation counting — a derived
+fact disappears when its last recorded derivation is retracted.  This is
+exact for programs whose derivations cannot cyclically support each other
+(every protocol shipped in :mod:`repro.protocols` has this property: costs
+strictly increase along MINCOST/distance-vector derivations and paths
+strictly extend in path-vector/DSR).  For programs with genuinely cyclic
+support — e.g. plain symmetric transitive closure — counting can retain
+tuples whose only remaining support is a derivation cycle, the classic
+limitation that DRed-style maintenance addresses; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EngineError
+from repro.ndlog.ast import Aggregate, Assignment, Condition, Literal, Rule
+from repro.engine.compiler import CompiledProgram
+from repro.engine.dataflow import (
+    Bindings,
+    bound_positions,
+    evaluate_term,
+    group_key_of,
+    instantiate_head,
+    match_atom,
+    satisfies,
+)
+from repro.engine.store import TupleStore
+from repro.engine.tuples import Fact
+
+
+@dataclass(frozen=True)
+class DerivationEffect:
+    """One rule firing (+1) or retraction (-1) produced by the evaluator.
+
+    ``firing_id`` identifies the derivation; the node that stores the head
+    fact uses it as the derivation id in its store, and the provenance engine
+    uses it to connect the rule-execution vertex with the derived tuple
+    vertex.
+    """
+
+    sign: int
+    firing_id: str
+    rule_name: str
+    program_name: str
+    head_fact: Fact
+    head_location: object
+    body_facts: Tuple[Fact, ...]
+
+    def __str__(self) -> str:
+        symbol = "+" if self.sign > 0 else "-"
+        return f"{symbol}{self.head_fact} via {self.rule_name} [{self.firing_id}]"
+
+
+@dataclass
+class _FiringRecord:
+    firing_id: str
+    rule_name: str
+    head_fact: Fact
+    head_location: object
+    body_facts: Tuple[Fact, ...]
+
+
+@dataclass
+class _AggEntry:
+    value: object
+    body_facts: Tuple[Fact, ...]
+
+
+@dataclass
+class _AggHead:
+    firing_id: str
+    head_fact: Fact
+    head_location: object
+    body_facts: Tuple[Fact, ...]
+
+
+class LocalEvaluator:
+    """Incremental evaluation of a compiled program over one node's store."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        store: TupleStore,
+        node_id: object,
+        aggregate_retract_first: bool = False,
+    ):
+        self._compiled = compiled
+        self._store = store
+        self._node = node_id
+        self._registry = compiled.registry
+        self._firing_seq = 0
+        #: Ablation switch (see DESIGN.md §5): when True, aggregate changes are
+        #: propagated as retract-then-insert instead of the default
+        #: insert-then-retract ordering.  Only benchmarks should enable it.
+        self.aggregate_retract_first = aggregate_retract_first
+
+        self._firings: Dict[str, _FiringRecord] = {}
+        self._firing_by_body: Dict[Tuple[str, Tuple[Fact, ...]], str] = {}
+        self._fact_firings: Dict[Fact, Set[str]] = {}
+
+        # Aggregate state: rule name -> group key -> {body_facts -> entry}
+        self._agg_entries: Dict[str, Dict[Tuple, Dict[Tuple[Fact, ...], _AggEntry]]] = {}
+        self._agg_heads: Dict[Tuple[str, Tuple], _AggHead] = {}
+        self._fact_agg_entries: Dict[Fact, Set[Tuple[str, Tuple, Tuple[Fact, ...]]]] = {}
+        self._agg_rules: Dict[str, Rule] = {
+            rule.name: rule for rule in compiled.rules if rule.has_aggregate
+        }
+
+    # -- public statistics -------------------------------------------------------
+
+    @property
+    def firing_count(self) -> int:
+        """Number of currently-live rule firings recorded at this node."""
+        return len(self._firings) + len(self._agg_heads)
+
+    # -- entry points --------------------------------------------------------------
+
+    def on_fact_inserted(self, fact: Fact) -> List[DerivationEffect]:
+        """React to *fact* having just become present in the local store."""
+        effects: List[DerivationEffect] = []
+        for rule, delta_index in self._compiled.delta_index.get(fact.relation, []):
+            for bindings, body_facts in self._delta_bindings(rule, delta_index, fact):
+                effects.extend(self._apply_firing(rule, bindings, body_facts))
+        for rule in self._compiled.negation_index.get(fact.relation, []):
+            effects.extend(self._retract_blocked_firings(rule, fact))
+        return effects
+
+    def on_fact_deleted(self, fact: Fact) -> List[DerivationEffect]:
+        """React to *fact* having just disappeared from the local store."""
+        effects: List[DerivationEffect] = []
+
+        # Retraction of ordinary firings that used the fact positively.
+        for firing_id in sorted(self._fact_firings.pop(fact, set())):
+            record = self._firings.get(firing_id)
+            if record is None:
+                continue
+            effects.append(self._retract_firing(record))
+
+        # Removal of aggregate entries that used the fact.
+        for rule_name, group_key, body_facts in sorted(
+            self._fact_agg_entries.pop(fact, set()), key=repr
+        ):
+            effects.extend(self._agg_remove_entry(rule_name, group_key, body_facts))
+
+        # Firings newly enabled because a negative literal stopped matching.
+        for rule in self._compiled.negation_index.get(fact.relation, []):
+            effects.extend(self._enable_unblocked_firings(rule, fact))
+        return effects
+
+    def recompute_effects_for_existing(self, fact: Fact) -> List[DerivationEffect]:
+        """Alias of :meth:`on_fact_inserted`, used when replaying a store."""
+        return self.on_fact_inserted(fact)
+
+    # -- firing management ----------------------------------------------------------
+
+    def _next_firing_id(self) -> str:
+        self._firing_seq += 1
+        return f"{self._node}#{self._firing_seq}"
+
+    def _apply_firing(
+        self, rule: Rule, bindings: Bindings, body_facts: Tuple[Fact, ...]
+    ) -> List[DerivationEffect]:
+        if rule.has_aggregate:
+            return self._agg_add_entry(rule, bindings, body_facts)
+
+        key = (rule.name, body_facts)
+        if key in self._firing_by_body:
+            # The same combination of body facts can be rediscovered when a
+            # fact is re-inserted concurrently with unprocessed retractions;
+            # a firing must not be duplicated.
+            return []
+
+        head_fact = instantiate_head(rule.head, bindings, self._registry)
+        head_location = self._compiled.catalog.location_of(head_fact)
+        firing_id = self._next_firing_id()
+        record = _FiringRecord(firing_id, rule.name, head_fact, head_location, body_facts)
+        self._firings[firing_id] = record
+        self._firing_by_body[key] = firing_id
+        for fact in set(body_facts):
+            self._fact_firings.setdefault(fact, set()).add(firing_id)
+        return [
+            DerivationEffect(
+                sign=+1,
+                firing_id=firing_id,
+                rule_name=rule.name,
+                program_name=self._compiled.name,
+                head_fact=head_fact,
+                head_location=head_location,
+                body_facts=body_facts,
+            )
+        ]
+
+    def _retract_firing(self, record: _FiringRecord) -> DerivationEffect:
+        self._firings.pop(record.firing_id, None)
+        self._firing_by_body.pop((record.rule_name, record.body_facts), None)
+        for fact in set(record.body_facts):
+            firings = self._fact_firings.get(fact)
+            if firings is not None:
+                firings.discard(record.firing_id)
+                if not firings:
+                    del self._fact_firings[fact]
+        return DerivationEffect(
+            sign=-1,
+            firing_id=record.firing_id,
+            rule_name=record.rule_name,
+            program_name=self._compiled.name,
+            head_fact=record.head_fact,
+            head_location=record.head_location,
+            body_facts=record.body_facts,
+        )
+
+    # -- join enumeration --------------------------------------------------------------
+
+    def _delta_bindings(
+        self, rule: Rule, delta_index: int, fact: Fact
+    ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+        """Enumerate complete rule bindings in which *fact* plays body position *delta_index*."""
+        positives = rule.positive_literals
+        delta_literal = positives[delta_index]
+        initial = match_atom(delta_literal.atom, fact, {}, self._registry)
+        if initial is None:
+            return
+
+        slots: List[Optional[Fact]] = [None] * len(positives)
+        slots[delta_index] = fact
+
+        remaining = [index for index in range(len(positives)) if index != delta_index]
+        yield from self._join_remaining(rule, positives, remaining, 0, initial, slots, fact, delta_index)
+
+    def _join_remaining(
+        self,
+        rule: Rule,
+        positives: Sequence[Literal],
+        remaining: List[int],
+        cursor: int,
+        bindings: Bindings,
+        slots: List[Optional[Fact]],
+        delta_fact: Fact,
+        delta_index: int,
+    ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+        if cursor == len(remaining):
+            final = self._finalize_binding(rule, bindings)
+            if final is not None:
+                body_facts = tuple(slot for slot in slots if slot is not None)
+                yield final, body_facts
+            return
+
+        position = remaining[cursor]
+        literal = positives[position]
+        bound = bound_positions(literal.atom, bindings)
+        for candidate in list(self._store.matching(literal.atom.relation, bound)):
+            # Semi-naive de-duplication for self-joins: positions *before* the
+            # delta position must not use the delta fact itself, otherwise the
+            # same firing would be produced once per occurrence.
+            if (
+                position < delta_index
+                and candidate.relation == delta_fact.relation
+                and candidate == delta_fact
+            ):
+                continue
+            extended = match_atom(literal.atom, candidate, bindings, self._registry)
+            if extended is None:
+                continue
+            slots[position] = candidate
+            yield from self._join_remaining(
+                rule, positives, remaining, cursor + 1, extended, slots, delta_fact, delta_index
+            )
+            slots[position] = None
+
+    def _full_bindings(
+        self, rule: Rule
+    ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+        """Enumerate all complete bindings of *rule* against the current store."""
+        positives = rule.positive_literals
+        if not positives:
+            return
+        slots: List[Optional[Fact]] = [None] * len(positives)
+
+        def recurse(index: int, bindings: Bindings) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+            if index == len(positives):
+                final = self._finalize_binding(rule, bindings)
+                if final is not None:
+                    yield final, tuple(slot for slot in slots if slot is not None)
+                return
+            literal = positives[index]
+            bound = bound_positions(literal.atom, bindings)
+            for candidate in list(self._store.matching(literal.atom.relation, bound)):
+                extended = match_atom(literal.atom, candidate, bindings, self._registry)
+                if extended is None:
+                    continue
+                slots[index] = candidate
+                yield from recurse(index + 1, extended)
+                slots[index] = None
+
+        yield from recurse(0, {})
+
+    def _finalize_binding(self, rule: Rule, bindings: Bindings) -> Optional[Bindings]:
+        """Apply assignments, check conditions and negative literals.
+
+        Returns the extended bindings when the rule body is fully satisfied,
+        or ``None`` otherwise.
+        """
+        extended = dict(bindings)
+        for element in rule.body:
+            if isinstance(element, Assignment):
+                extended[element.variable] = evaluate_term(
+                    element.expression, extended, self._registry
+                )
+            elif isinstance(element, Condition):
+                if not satisfies(element, extended, self._registry):
+                    return None
+        for literal in rule.negative_literals:
+            if self._negated_literal_matches(literal, extended):
+                return None
+        return extended
+
+    def _negated_literal_matches(self, literal: Literal, bindings: Bindings) -> bool:
+        bound = bound_positions(literal.atom, bindings)
+        for candidate in self._store.matching(literal.atom.relation, bound):
+            if match_atom(literal.atom, candidate, bindings, self._registry) is not None:
+                return True
+        return False
+
+    # -- negation maintenance ------------------------------------------------------------
+
+    def _retract_blocked_firings(self, rule: Rule, fact: Fact) -> List[DerivationEffect]:
+        """Retract firings of *rule* whose negative literal now matches *fact*."""
+        effects: List[DerivationEffect] = []
+        negated_on_relation = [
+            literal for literal in rule.negative_literals if literal.atom.relation == fact.relation
+        ]
+        if not negated_on_relation:
+            return effects
+        for bindings, body_facts in self._positive_bindings_matching_negation(rule, fact):
+            key = (rule.name, body_facts)
+            firing_id = self._firing_by_body.get(key)
+            if firing_id is None:
+                continue
+            record = self._firings.get(firing_id)
+            if record is not None:
+                effects.append(self._retract_firing(record))
+        return effects
+
+    def _enable_unblocked_firings(self, rule: Rule, fact: Fact) -> List[DerivationEffect]:
+        """Fire *rule* for bindings whose only blocker was the now-deleted *fact*."""
+        effects: List[DerivationEffect] = []
+        for bindings, body_facts in self._positive_bindings_matching_negation(rule, fact):
+            final = self._finalize_binding(rule, bindings)
+            if final is None:
+                continue
+            effects.extend(self._apply_firing(rule, final, body_facts))
+        return effects
+
+    def _positive_bindings_matching_negation(
+        self, rule: Rule, fact: Fact
+    ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+        """Bindings of the positive body for which a negative literal unifies with *fact*.
+
+        Assignments are applied and conditions checked, but the negative
+        literals themselves are NOT checked here (callers decide whether they
+        are looking for blocked or unblocked bindings).
+        """
+        positives = rule.positive_literals
+        slots: List[Optional[Fact]] = [None] * len(positives)
+        negated = [
+            literal for literal in rule.negative_literals if literal.atom.relation == fact.relation
+        ]
+
+        def recurse(index: int, bindings: Bindings) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
+            if index == len(positives):
+                extended = dict(bindings)
+                try:
+                    for element in rule.body:
+                        if isinstance(element, Assignment):
+                            extended[element.variable] = evaluate_term(
+                                element.expression, extended, self._registry
+                            )
+                        elif isinstance(element, Condition):
+                            if not satisfies(element, extended, self._registry):
+                                return
+                except EngineError:
+                    return
+                for literal in negated:
+                    if match_atom(literal.atom, fact, extended, self._registry) is not None:
+                        yield extended, tuple(slot for slot in slots if slot is not None)
+                        return
+                return
+            literal = positives[index]
+            bound = bound_positions(literal.atom, bindings)
+            for candidate in list(self._store.matching(literal.atom.relation, bound)):
+                extended = match_atom(literal.atom, candidate, bindings, self._registry)
+                if extended is None:
+                    continue
+                slots[index] = candidate
+                yield from recurse(index + 1, extended)
+                slots[index] = None
+
+        yield from recurse(0, {})
+
+    # -- aggregates -----------------------------------------------------------------------
+
+    def _agg_add_entry(
+        self, rule: Rule, bindings: Bindings, body_facts: Tuple[Fact, ...]
+    ) -> List[DerivationEffect]:
+        aggregate = rule.aggregate
+        assert aggregate is not None
+        group_key = group_key_of(rule.head, bindings, self._registry)
+        if aggregate.variable is None:
+            value: object = 1
+        else:
+            if aggregate.variable not in bindings:
+                raise EngineError(
+                    f"aggregate variable {aggregate.variable!r} is unbound in rule {rule.name!r}"
+                )
+            value = bindings[aggregate.variable]
+
+        groups = self._agg_entries.setdefault(rule.name, {})
+        entries = groups.setdefault(group_key, {})
+        if body_facts in entries:
+            return []
+        entries[body_facts] = _AggEntry(value=value, body_facts=body_facts)
+        for fact in set(body_facts):
+            self._fact_agg_entries.setdefault(fact, set()).add((rule.name, group_key, body_facts))
+        return self._agg_recompute(rule, group_key)
+
+    def _agg_remove_entry(
+        self, rule_name: str, group_key: Tuple, body_facts: Tuple[Fact, ...]
+    ) -> List[DerivationEffect]:
+        rule = self._agg_rules.get(rule_name)
+        if rule is None:
+            return []
+        groups = self._agg_entries.get(rule_name, {})
+        entries = groups.get(group_key)
+        if not entries or body_facts not in entries:
+            return []
+        del entries[body_facts]
+        for fact in set(body_facts):
+            memberships = self._fact_agg_entries.get(fact)
+            if memberships is not None:
+                memberships.discard((rule_name, group_key, body_facts))
+                if not memberships:
+                    del self._fact_agg_entries[fact]
+        if not entries:
+            del groups[group_key]
+        return self._agg_recompute(rule, group_key)
+
+    def _agg_recompute(self, rule: Rule, group_key: Tuple) -> List[DerivationEffect]:
+        aggregate = rule.aggregate
+        assert aggregate is not None
+        entries = self._agg_entries.get(rule.name, {}).get(group_key, {})
+        head_key = (rule.name, group_key)
+        current = self._agg_heads.get(head_key)
+
+        effects: List[DerivationEffect] = []
+        if not entries:
+            if current is not None:
+                effects.append(self._retract_agg_head(rule, head_key, current))
+            return effects
+
+        values = [entry.value for entry in entries.values()]
+        new_value = _aggregate_value(aggregate.func, values)
+        contributing = _contributing_facts(aggregate.func, entries, new_value)
+        head_fact = _agg_head_fact(rule, group_key, new_value)
+
+        previous = None
+        if current is not None:
+            if current.head_fact == head_fact and current.body_facts == contributing:
+                return effects
+            previous = current
+            if self.aggregate_retract_first:
+                # Ablation mode: propagate the retraction first (the naive
+                # ordering), exposing the intermediate group state downstream.
+                effects.append(self._retract_agg_head(rule, head_key, previous))
+                previous = None
+
+        head_location = self._compiled.catalog.location_of(head_fact)
+        firing_id = self._next_firing_id()
+        record = _AggHead(
+            firing_id=firing_id,
+            head_fact=head_fact,
+            head_location=head_location,
+            body_facts=contributing,
+        )
+        self._agg_heads[head_key] = record
+        effects.append(
+            DerivationEffect(
+                sign=+1,
+                firing_id=firing_id,
+                rule_name=rule.name,
+                program_name=self._compiled.name,
+                head_fact=head_fact,
+                head_location=head_location,
+                body_facts=contributing,
+            )
+        )
+        if previous is not None:
+            # Emit the replacement *before* the retraction: downstream nodes
+            # then see "new value arrives, old value leaves", which changes
+            # their own aggregates exactly once.  The opposite order would
+            # expose an intermediate state (group without either value) whose
+            # consequences would be derived, shipped, and immediately undone —
+            # a cascade that blows up deletion processing on cyclic topologies.
+            effects.append(self._make_agg_retraction(rule, previous))
+        return effects
+
+    def _retract_agg_head(
+        self, rule: Rule, head_key: Tuple[str, Tuple], record: _AggHead
+    ) -> DerivationEffect:
+        self._agg_heads.pop(head_key, None)
+        return self._make_agg_retraction(rule, record)
+
+    def _make_agg_retraction(self, rule: Rule, record: _AggHead) -> DerivationEffect:
+        return DerivationEffect(
+            sign=-1,
+            firing_id=record.firing_id,
+            rule_name=rule.name,
+            program_name=self._compiled.name,
+            head_fact=record.head_fact,
+            head_location=record.head_location,
+            body_facts=record.body_facts,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Aggregate helpers
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_value(func: str, values: List[object]) -> object:
+    if func == "min":
+        return min(values)  # type: ignore[type-var]
+    if func == "max":
+        return max(values)  # type: ignore[type-var]
+    if func == "count":
+        return len(values)
+    if func == "sum":
+        return sum(values)  # type: ignore[arg-type]
+    if func == "avg":
+        return sum(values) / len(values)  # type: ignore[arg-type]
+    raise EngineError(f"unsupported aggregate function {func!r}")
+
+
+def _contributing_facts(
+    func: str, entries: Dict[Tuple[Fact, ...], _AggEntry], value: object
+) -> Tuple[Fact, ...]:
+    """The body facts that justify the aggregate value (provenance children).
+
+    The result is sorted so that the rule-execution identifier derived from it
+    is independent of the order in which the group's entries were discovered
+    (incremental and from-scratch runs must produce identical provenance).
+    """
+    contributing: Set[Fact] = set()
+    for entry in entries.values():
+        if func in ("min", "max") and entry.value != value:
+            continue
+        contributing.update(entry.body_facts)
+    return tuple(sorted(contributing, key=repr))
+
+
+def _agg_head_fact(rule: Rule, group_key: Tuple, value: object) -> Fact:
+    values: List[object] = []
+    key_iter = iter(group_key)
+    for term in rule.head.terms:
+        if isinstance(term, Aggregate):
+            values.append(value)
+        else:
+            values.append(next(key_iter))
+    return Fact.make(rule.head.relation, values)

@@ -1,0 +1,73 @@
+"""Message types exchanged between nodes of the simulated distributed system.
+
+All inter-node communication — derived-tuple shipment, provenance-query
+traversal, snapshot uploads — travels as :class:`Message` objects through
+:class:`repro.engine.network.Network`, which records per-category statistics.
+This is what lets the benchmarks report "network traffic" for provenance
+queries with and without the ExSPAN optimisations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.engine.tuples import Fact
+
+_message_counter = itertools.count(1)
+
+#: Message categories used for traffic accounting.
+CATEGORY_TUPLE = "tuple"
+CATEGORY_PROVENANCE_QUERY = "provenance-query"
+CATEGORY_PROVENANCE_REPLY = "provenance-reply"
+CATEGORY_SNAPSHOT = "snapshot"
+CATEGORY_CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class ProvenanceTag:
+    """Provenance annotation carried by a tuple-delta message.
+
+    It identifies the rule execution that produced the shipped tuple: the
+    rule name, the node where the rule fired and the rule-execution vertex id
+    (RID).  The receiving node records ``prov(@Receiver, VID, RID, ExecNode)``
+    from it.
+    """
+
+    rule_name: str
+    program_name: str
+    exec_node: object
+    rid: str
+
+
+@dataclass(frozen=True)
+class TupleDelta:
+    """Payload announcing the insertion (+1) or retraction (-1) of a derivation."""
+
+    sign: int
+    fact: Fact
+    derivation_id: str
+    provenance: Optional[ProvenanceTag] = None
+
+    def __str__(self) -> str:
+        symbol = "+" if self.sign > 0 else "-"
+        return f"{symbol}{self.fact} [{self.derivation_id}]"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message with a category used for traffic accounting."""
+
+    sender: object
+    receiver: object
+    category: str
+    payload: object
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def size_estimate(self) -> int:
+        """A rough, deterministic byte-size estimate used in traffic statistics."""
+        return len(repr(self.payload)) + 24
+
+    def __str__(self) -> str:
+        return f"[{self.category}] {self.sender} -> {self.receiver}: {self.payload}"

@@ -1,0 +1,219 @@
+"""A single node of the simulated distributed system.
+
+Each :class:`Node` owns:
+
+* a :class:`~repro.engine.store.TupleStore` holding its horizontal partition
+  of every relation,
+* a :class:`~repro.engine.evaluator.LocalEvaluator` that computes the
+  consequences of local updates,
+* a work queue of pending tuple deltas (local derivations and deltas received
+  from other nodes), and
+* an optional provenance recorder (the ExSPAN maintenance engine) that is
+  informed of every rule execution and every derivation added to or removed
+  from the store.
+
+The provenance recorder must provide the following methods (see
+:class:`repro.core.maintenance.ProvenanceEngine` for the real implementation)::
+
+    record_rule_exec(exec_node, effect)   -> ProvenanceTag
+    remove_rule_exec(exec_node, effect)   -> None
+    record_support(node, fact, derivation_id, tag_or_None) -> None
+    remove_support(node, fact, derivation_id) -> None
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import EngineError
+from repro.engine.compiler import CompiledProgram
+from repro.engine.evaluator import DerivationEffect, LocalEvaluator
+from repro.engine.messages import (
+    CATEGORY_TUPLE,
+    Message,
+    ProvenanceTag,
+    TupleDelta,
+)
+from repro.engine.network import Network
+from repro.engine.store import BASE_DERIVATION, TupleStore
+from repro.engine.tuples import Fact
+
+
+@dataclass
+class NodeStats:
+    """Counters describing the work one node has performed."""
+
+    updates_processed: int = 0
+    rule_firings: int = 0
+    rule_retractions: int = 0
+    deltas_sent: int = 0
+    deltas_received: int = 0
+
+
+@dataclass(frozen=True)
+class _PendingUpdate:
+    sign: int
+    fact: Fact
+    derivation_id: str
+    tag: Optional[ProvenanceTag]
+
+
+class Node:
+    """One node: local store + evaluator + messaging."""
+
+    def __init__(
+        self,
+        node_id: object,
+        compiled: CompiledProgram,
+        network: Network,
+        provenance: Optional[object] = None,
+        aggregate_retract_first: bool = False,
+    ):
+        self.id = node_id
+        self.compiled = compiled
+        self.network = network
+        self.store = TupleStore()
+        self.evaluator = LocalEvaluator(
+            compiled, self.store, node_id, aggregate_retract_first=aggregate_retract_first
+        )
+        self.provenance = provenance
+        self.stats = NodeStats()
+        self._queue: Deque[_PendingUpdate] = deque()
+        self._processing = False
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        network.register(node_id, self)
+
+    # -- external API ----------------------------------------------------------
+
+    def insert_base(self, fact: Fact) -> None:
+        """Insert a base tuple locally (e.g. a ``link`` tuple from the topology)."""
+        self._check_location(fact)
+        self._enqueue(_PendingUpdate(+1, fact, BASE_DERIVATION, None))
+
+    def delete_base(self, fact: Fact) -> None:
+        """Delete a base tuple previously inserted at this node."""
+        self._check_location(fact)
+        self._enqueue(_PendingUpdate(-1, fact, BASE_DERIVATION, None))
+
+    def apply_external_derivation(self, effect: DerivationEffect) -> None:
+        """Apply a derivation produced outside the local evaluator.
+
+        This is how the legacy-application layer injects derivations inferred
+        by "maybe" rules: the proxy builds a :class:`DerivationEffect` (with
+        its own firing id) and the node records/ships it exactly as if one of
+        its own rules had fired.
+        """
+        self._handle_effects([effect])
+
+    def register_handler(self, category: str, handler: Callable[[Message], None]) -> None:
+        """Register a handler for a non-tuple message category (e.g. provenance queries)."""
+        self._handlers[category] = handler
+
+    def send(self, receiver: object, category: str, payload: object) -> None:
+        """Send an arbitrary message to another node through the network."""
+        self.network.send(Message(sender=self.id, receiver=receiver, category=category, payload=payload))
+
+    # -- message reception -------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Entry point used by the network to deliver a message to this node."""
+        if message.category == CATEGORY_TUPLE:
+            delta = message.payload
+            if not isinstance(delta, TupleDelta):
+                raise EngineError(f"malformed tuple message payload: {message.payload!r}")
+            self.stats.deltas_received += 1
+            self._enqueue(_PendingUpdate(delta.sign, delta.fact, delta.derivation_id, delta.provenance))
+            return
+        handler = self._handlers.get(message.category)
+        if handler is None:
+            raise EngineError(
+                f"node {self.id!r} has no handler for message category {message.category!r}"
+            )
+        handler(message)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_location(self, fact: Fact) -> None:
+        location = self.compiled.catalog.location_of(fact)
+        if location != self.id:
+            raise EngineError(
+                f"fact {fact} is located at {location!r} and cannot be inserted at node {self.id!r}"
+            )
+
+    def _enqueue(self, update: _PendingUpdate) -> None:
+        self._queue.append(update)
+        if not self._processing:
+            self._drain()
+
+    def _drain(self) -> None:
+        self._processing = True
+        try:
+            while self._queue:
+                update = self._queue.popleft()
+                self._apply(update)
+        finally:
+            self._processing = False
+
+    def _apply(self, update: _PendingUpdate) -> None:
+        self.stats.updates_processed += 1
+        if update.sign > 0:
+            newly_present = self.store.add_derivation(update.fact, update.derivation_id)
+            if self.provenance is not None:
+                self.provenance.record_support(
+                    self.id, update.fact, update.derivation_id, update.tag
+                )
+            if newly_present:
+                effects = self.evaluator.on_fact_inserted(update.fact)
+                self._handle_effects(effects)
+        else:
+            had_derivation = update.derivation_id in self.store.derivations(update.fact)
+            disappeared = self.store.remove_derivation(update.fact, update.derivation_id)
+            if self.provenance is not None and had_derivation:
+                self.provenance.remove_support(self.id, update.fact, update.derivation_id)
+            if disappeared:
+                effects = self.evaluator.on_fact_deleted(update.fact)
+                self._handle_effects(effects)
+
+    def _handle_effects(self, effects: List[DerivationEffect]) -> None:
+        for effect in effects:
+            tag: Optional[ProvenanceTag] = None
+            if effect.sign > 0:
+                self.stats.rule_firings += 1
+                if self.provenance is not None:
+                    tag = self.provenance.record_rule_exec(self.id, effect)
+            else:
+                self.stats.rule_retractions += 1
+                if self.provenance is not None:
+                    self.provenance.remove_rule_exec(self.id, effect)
+
+            delta = TupleDelta(
+                sign=effect.sign,
+                fact=effect.head_fact,
+                derivation_id=effect.firing_id,
+                provenance=tag,
+            )
+            if effect.head_location == self.id:
+                self._enqueue(
+                    _PendingUpdate(effect.sign, effect.head_fact, effect.firing_id, tag)
+                )
+            else:
+                self.stats.deltas_sent += 1
+                self.network.send(
+                    Message(
+                        sender=self.id,
+                        receiver=effect.head_location,
+                        category=CATEGORY_TUPLE,
+                        payload=delta,
+                    )
+                )
+
+    # -- convenience accessors -------------------------------------------------------
+
+    def facts(self, relation: str) -> List[Fact]:
+        """All facts of *relation* stored at this node (sorted for determinism)."""
+        return sorted(self.store.facts(relation), key=lambda fact: repr(fact.values))
+
+    def __repr__(self) -> str:
+        return f"Node({self.id!r}, {self.store.count()} facts)"

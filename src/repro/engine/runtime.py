@@ -1,0 +1,231 @@
+"""NetTrails runtime: a cluster of nodes executing one NDlog program.
+
+:class:`NetTrailsRuntime` is the facade most users interact with.  It wires
+together a compiled NDlog program, a topology, the simulated network, one
+:class:`~repro.engine.node.Node` per topology node, and (by default) the
+ExSPAN provenance engine.  It offers convenience methods for seeding base
+tuples from the topology, mutating the topology at runtime (the dynamic /
+mobile scenarios of the paper), inspecting global state and taking snapshots
+for the log store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import EngineError, UnknownNodeError
+from repro.ndlog.ast import Program
+from repro.ndlog.functions import FunctionRegistry
+from repro.ndlog.parser import parse_program
+from repro.engine.compiler import CompiledProgram, compile_program
+from repro.engine.network import Network, TrafficStats
+from repro.engine.node import Node
+from repro.engine.simulator import Simulator
+from repro.engine.store import BASE_DERIVATION
+from repro.engine.topology import Topology
+from repro.engine.tuples import Fact
+
+
+class NetTrailsRuntime:
+    """A running (simulated) distributed system with provenance tracking."""
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        topology: Topology,
+        provenance: Union[bool, object] = True,
+        default_latency: float = 0.01,
+        link_latency: float = 0.01,
+        registry: Optional[FunctionRegistry] = None,
+        program_name: Optional[str] = None,
+        aggregate_retract_first: bool = False,
+    ):
+        if isinstance(program, str):
+            program = parse_program(program, name=program_name or "program")
+        self.program = program
+        self.compiled: CompiledProgram = compile_program(program, registry)
+        self.topology = topology
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, default_latency=default_latency)
+        self._link_latency = link_latency
+        self._link_relation: Optional[str] = None
+        self._link_symmetric = True
+        self._link_include_cost = True
+
+        if provenance is True:
+            from repro.core.maintenance import ProvenanceEngine  # avoid an import cycle
+
+            self.provenance: Optional[object] = ProvenanceEngine(self.compiled)
+        elif provenance is False or provenance is None:
+            self.provenance = None
+        else:
+            self.provenance = provenance
+
+        self.nodes: Dict[object, Node] = {}
+        for name in topology.nodes:
+            self.nodes[name] = Node(
+                name,
+                self.compiled,
+                self.network,
+                self.provenance,
+                aggregate_retract_first=aggregate_retract_first,
+            )
+        for source, target, cost in topology.directed_edges():
+            self.network.add_link(source, target, cost=cost, latency=link_latency)
+
+    # -- node access ----------------------------------------------------------------
+
+    def node(self, node_id: object) -> Node:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(f"unknown node {node_id!r}")
+        return self.nodes[node_id]
+
+    def node_ids(self) -> List[object]:
+        return sorted(self.nodes, key=repr)
+
+    # -- base tuple management ---------------------------------------------------------
+
+    def seed_links(
+        self,
+        relation: str = "link",
+        include_cost: bool = True,
+        symmetric: bool = True,
+        run: bool = False,
+    ) -> int:
+        """Insert one *relation* base tuple per topology edge (both directions).
+
+        Returns the number of tuples inserted.  With ``run=True`` the
+        simulator is run to quiescence afterwards.
+        """
+        self._link_relation = relation
+        self._link_symmetric = symmetric
+        self._link_include_cost = include_cost
+        inserted = 0
+        edges = self.topology.directed_edges() if symmetric else [
+            (a, b, c) for (a, b), c in sorted(self.topology.edges.items())
+        ]
+        for source, target, cost in edges:
+            values: List[object] = [source, target]
+            if include_cost:
+                values.append(cost)
+            self.insert(relation, values)
+            inserted += 1
+        if run:
+            self.run_to_quiescence()
+        return inserted
+
+    def _link_values(self, source: object, target: object, cost: float) -> List[object]:
+        values: List[object] = [source, target]
+        if self._link_include_cost:
+            values.append(cost)
+        return values
+
+    def insert(self, relation: str, values: Sequence[object]) -> Fact:
+        """Insert a base tuple; it is routed to the node its location attribute names.
+
+        If the relation has a ``materialize`` primary key and a tuple with the
+        same key is already stored, the old tuple is deleted first (key-based
+        overwrite, as in RapidNet/P2).
+        """
+        fact = Fact.make(relation, values)
+        location = self.compiled.catalog.location_of(fact)
+        node = self.node(location)
+
+        key = self.compiled.catalog.key_of(fact)
+        if key is not None:
+            schema = self.compiled.catalog.schema_or_default(relation, fact.arity)
+            for existing in list(node.store.facts(relation)):
+                if existing != fact and schema.key_of(existing) == key:
+                    if BASE_DERIVATION in node.store.derivations(existing):
+                        node.delete_base(existing)
+        node.insert_base(fact)
+        return fact
+
+    def delete(self, relation: str, values: Sequence[object]) -> Fact:
+        """Delete a base tuple previously inserted with :meth:`insert`."""
+        fact = Fact.make(relation, values)
+        location = self.compiled.catalog.location_of(fact)
+        self.node(location).delete_base(fact)
+        return fact
+
+    # -- dynamic topology ---------------------------------------------------------------
+
+    def add_link(self, source: str, target: str, cost: float = 1.0) -> None:
+        """Add an (undirected) link at runtime, updating base tuples accordingly."""
+        self.topology.add_edge(source, target, cost)
+        self.network.add_link(source, target, cost=cost, latency=self._link_latency)
+        self.network.add_link(target, source, cost=cost, latency=self._link_latency)
+        if self._link_relation is not None:
+            self.insert(self._link_relation, self._link_values(source, target, cost))
+            if self._link_symmetric:
+                self.insert(self._link_relation, self._link_values(target, source, cost))
+
+    def remove_link(self, source: str, target: str) -> None:
+        """Remove a link at runtime, retracting its base tuples."""
+        cost = self.topology.cost(source, target) if self.topology.has_edge(source, target) else 1.0
+        self.topology.remove_edge(source, target)
+        self.network.remove_link(source, target)
+        self.network.remove_link(target, source)
+        if self._link_relation is not None:
+            self.delete(self._link_relation, self._link_values(source, target, cost))
+            if self._link_symmetric:
+                self.delete(self._link_relation, self._link_values(target, source, cost))
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulator for *duration* seconds of virtual time (or until idle)."""
+        until = None if duration is None else self.simulator.now + duration
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Run until no messages or events remain in flight."""
+        return self.simulator.run_to_quiescence(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    # -- state inspection -----------------------------------------------------------------
+
+    def state(self, relation: str) -> List[Tuple[object, ...]]:
+        """The global contents of *relation*: value tuples from every node, sorted."""
+        rows: List[Tuple[object, ...]] = []
+        for node in self.nodes.values():
+            rows.extend(fact.values for fact in node.store.facts(relation))
+        return sorted(rows, key=repr)
+
+    def node_state(self, node_id: object, relation: str) -> List[Tuple[object, ...]]:
+        """The contents of *relation* stored at one node."""
+        return sorted(
+            (fact.values for fact in self.node(node_id).store.facts(relation)), key=repr
+        )
+
+    def relation_sizes(self) -> Dict[str, int]:
+        """Total number of stored facts per relation across the whole system."""
+        sizes: Dict[str, int] = {}
+        for node in self.nodes.values():
+            for relation in node.store.relations():
+                sizes[relation] = sizes.get(relation, 0) + node.store.count(relation)
+        return dict(sorted(sizes.items()))
+
+    def total_facts(self) -> int:
+        return sum(node.store.count() for node in self.nodes.values())
+
+    def message_stats(self) -> TrafficStats:
+        return self.network.stats
+
+    # -- snapshots ----------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A serialisable snapshot of per-node state, used by the log store."""
+        return {
+            "time": self.simulator.now,
+            "program": self.compiled.name,
+            "nodes": {
+                repr(node_id): node.store.snapshot() for node_id, node in sorted(
+                    self.nodes.items(), key=lambda item: repr(item[0])
+                )
+            },
+            "traffic": self.network.stats.snapshot(),
+        }

@@ -1,0 +1,118 @@
+"""Deterministic discrete-event simulator.
+
+The simulator keeps virtual time as a float (seconds) and an event queue of
+``(time, sequence, callback)`` entries.  Events scheduled at the same time are
+executed in scheduling order, which together with seeded random generators
+makes every run of the system fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> None:
+        """Schedule *callback* to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._sequence), callback, label)
+        heapq.heappush(self._queue, event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> None:
+        """Schedule *callback* at absolute virtual time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}, which is before current time {self._now}"
+            )
+        event = _ScheduledEvent(time, next(self._sequence), callback, label)
+        heapq.heappush(self._queue, event)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, *until* is reached, or *max_events* fire.
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run call)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue[0].time
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain; raise if *max_events* is exceeded.
+
+        The cap guards against non-terminating NDlog programs (e.g. a
+        cost-accumulating recursion over a cyclic topology written without an
+        aggregate or a loop check).
+        """
+        executed = self.run(max_events=max_events)
+        if self._queue:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events; "
+                "the installed program may not terminate on this topology"
+            )
+        return executed

@@ -1,0 +1,158 @@
+"""Per-node tuple store with derivation counting and lazy secondary indexes.
+
+Each node of the distributed system holds the horizontal partition of every
+relation whose location attribute names that node.  The store implements
+*set semantics with derivation counting*: a fact is present as long as it has
+at least one derivation (a base insertion counts as the ``__base__``
+derivation).  Incremental deletion removes derivations; only when the last
+derivation disappears does the fact itself disappear, which is exactly the
+behaviour the ExSPAN maintenance engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EngineError
+from repro.engine.tuples import Fact
+
+#: Synthetic derivation id used for base-tuple insertions.
+BASE_DERIVATION = "__base__"
+
+
+class TupleStore:
+    """Facts grouped by relation, each with its set of derivation ids."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Dict[Fact, Set[str]]] = {}
+        # (relation, positions) -> {projected values -> set of facts}
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple[object, ...], Set[Fact]]] = {}
+
+    # -- basic accessors --------------------------------------------------------
+
+    def relations(self) -> List[str]:
+        return sorted(relation for relation, facts in self._facts.items() if facts)
+
+    def facts(self, relation: str) -> Iterator[Fact]:
+        yield from self._facts.get(relation, {})
+
+    def all_facts(self) -> Iterator[Fact]:
+        for facts in self._facts.values():
+            yield from facts
+
+    def contains(self, fact: Fact) -> bool:
+        return fact in self._facts.get(fact.relation, {})
+
+    def count(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return len(self._facts.get(relation, {}))
+        return sum(len(facts) for facts in self._facts.values())
+
+    def derivations(self, fact: Fact) -> Set[str]:
+        """Return the derivation ids currently supporting *fact* (empty if absent)."""
+        return set(self._facts.get(fact.relation, {}).get(fact, set()))
+
+    def derivation_count(self, fact: Fact) -> int:
+        return len(self._facts.get(fact.relation, {}).get(fact, ()))
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add_derivation(self, fact: Fact, derivation_id: str) -> bool:
+        """Add one derivation of *fact*; return True when the fact is newly present."""
+        by_fact = self._facts.setdefault(fact.relation, {})
+        existing = by_fact.get(fact)
+        if existing is None:
+            by_fact[fact] = {derivation_id}
+            self._index_add(fact)
+            return True
+        existing.add(derivation_id)
+        return False
+
+    def remove_derivation(self, fact: Fact, derivation_id: str) -> bool:
+        """Remove one derivation of *fact*; return True when the fact disappears.
+
+        Removing a derivation that is not present is a no-op returning False,
+        which makes retraction idempotent (retraction messages may race with
+        the derivations they cancel).
+        """
+        by_fact = self._facts.get(fact.relation)
+        if not by_fact or fact not in by_fact:
+            return False
+        derivations = by_fact[fact]
+        derivations.discard(derivation_id)
+        if derivations:
+            return False
+        del by_fact[fact]
+        self._index_remove(fact)
+        return True
+
+    def remove_fact(self, fact: Fact) -> Set[str]:
+        """Forcibly remove *fact*, returning the derivation ids it had."""
+        by_fact = self._facts.get(fact.relation)
+        if not by_fact or fact not in by_fact:
+            return set()
+        derivations = by_fact.pop(fact)
+        self._index_remove(fact)
+        return derivations
+
+    # -- scans and indexes ---------------------------------------------------------
+
+    def matching(self, relation: str, bound: Dict[int, object]) -> Iterator[Fact]:
+        """Iterate facts of *relation* whose attributes match the *bound* positions.
+
+        When *bound* is non-empty a hash index on those positions is created
+        lazily and maintained incrementally afterwards.
+        """
+        if not bound:
+            yield from self.facts(relation)
+            return
+        positions = tuple(sorted(bound))
+        key = tuple(bound[position] for position in positions)
+        index = self._ensure_index(relation, positions)
+        yield from index.get(key, ())
+
+    def _ensure_index(
+        self, relation: str, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[object, ...], Set[Fact]]:
+        index_key = (relation, positions)
+        if index_key not in self._indexes:
+            index: Dict[Tuple[object, ...], Set[Fact]] = {}
+            for fact in self.facts(relation):
+                projected = tuple(fact.values[position] for position in positions)
+                index.setdefault(projected, set()).add(fact)
+            self._indexes[index_key] = index
+        return self._indexes[index_key]
+
+    def _index_add(self, fact: Fact) -> None:
+        for (relation, positions), index in self._indexes.items():
+            if relation != fact.relation:
+                continue
+            if any(position >= fact.arity for position in positions):
+                raise EngineError(
+                    f"fact {fact} has arity {fact.arity}, too small for index on {positions}"
+                )
+            projected = tuple(fact.values[position] for position in positions)
+            index.setdefault(projected, set()).add(fact)
+
+    def _index_remove(self, fact: Fact) -> None:
+        for (relation, positions), index in self._indexes.items():
+            if relation != fact.relation:
+                continue
+            projected = tuple(fact.values[position] for position in positions)
+            bucket = index.get(projected)
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del index[projected]
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[Tuple[Tuple[object, ...], int]]]:
+        """Return a serialisable snapshot: relation -> [(values, derivation count)]."""
+        result: Dict[str, List[Tuple[Tuple[object, ...], int]]] = {}
+        for relation in self.relations():
+            rows = []
+            for fact in sorted(self.facts(relation), key=lambda f: repr(f.values)):
+                rows.append((fact.values, self.derivation_count(fact)))
+            result[relation] = rows
+        return result

@@ -1,0 +1,249 @@
+"""Topology generators for the simulated network.
+
+A :class:`Topology` is a set of node identifiers plus a set of undirected
+weighted edges.  Generators cover the shapes used in the paper's use cases:
+small static graphs for MINCOST and path-vector, random connected graphs for
+scaling experiments, grids for wireless/DSR scenarios, and a hierarchical
+ISP-like AS graph for the BGP/Quagga use case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EngineError
+
+
+@dataclass
+class Topology:
+    """A named, undirected, weighted topology."""
+
+    name: str
+    nodes: List[str] = field(default_factory=list)
+    edges: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        if node not in self.nodes:
+            self.nodes.append(node)
+
+    def add_edge(self, a: str, b: str, cost: float = 1.0) -> None:
+        """Add an undirected edge between *a* and *b* (stored once, normalised)."""
+        if a == b:
+            raise EngineError(f"self-loop on node {a!r} is not allowed")
+        self.add_node(a)
+        self.add_node(b)
+        self.edges[self._key(a, b)] = cost
+
+    def remove_edge(self, a: str, b: str) -> None:
+        self.edges.pop(self._key(a, b), None)
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- queries ----------------------------------------------------------------
+
+    def has_edge(self, a: str, b: str) -> bool:
+        return self._key(a, b) in self.edges
+
+    def cost(self, a: str, b: str) -> float:
+        return self.edges[self._key(a, b)]
+
+    def neighbors(self, node: str) -> List[str]:
+        result = []
+        for (a, b) in self.edges:
+            if a == node:
+                result.append(b)
+            elif b == node:
+                result.append(a)
+        return sorted(result)
+
+    def directed_edges(self) -> List[Tuple[str, str, float]]:
+        """Both directions of every undirected edge, with its cost."""
+        result = []
+        for (a, b), cost in sorted(self.edges.items()):
+            result.append((a, b, cost))
+            result.append((b, a, cost))
+        return result
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        seen: Set[str] = set()
+        frontier = [self.nodes[0]]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(n for n in self.neighbors(node) if n not in seen)
+        return len(seen) == len(self.nodes)
+
+    def shortest_path_costs(self) -> Dict[Tuple[str, str], float]:
+        """All-pairs shortest path costs (Dijkstra per source).
+
+        This is the *offline reference* that tests and benchmarks compare the
+        distributed MINCOST computation against.
+        """
+        import heapq
+
+        result: Dict[Tuple[str, str], float] = {}
+        adjacency: Dict[str, List[Tuple[str, float]]] = {node: [] for node in self.nodes}
+        for a, b, cost in self.directed_edges():
+            adjacency[a].append((b, cost))
+        for source in self.nodes:
+            distances: Dict[str, float] = {source: 0.0}
+            heap: List[Tuple[float, str]] = [(0.0, source)]
+            while heap:
+                distance, node = heapq.heappop(heap)
+                if distance > distances.get(node, float("inf")):
+                    continue
+                for neighbor, cost in adjacency[node]:
+                    candidate = distance + cost
+                    if candidate < distances.get(neighbor, float("inf")):
+                        distances[neighbor] = candidate
+                        heapq.heappush(heap, (candidate, neighbor))
+            for target, distance in distances.items():
+                if target != source:
+                    result[(source, target)] = distance
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def _node_names(count: int, prefix: str) -> List[str]:
+    return [f"{prefix}{index}" for index in range(count)]
+
+
+def line(count: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A simple chain n0 - n1 - ... - n(count-1)."""
+    topology = Topology(name=f"line-{count}")
+    names = _node_names(count, prefix)
+    for name in names:
+        topology.add_node(name)
+    for a, b in zip(names, names[1:]):
+        topology.add_edge(a, b, cost)
+    return topology
+
+
+def ring(count: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A cycle of *count* nodes."""
+    topology = line(count, cost, prefix)
+    topology.name = f"ring-{count}"
+    if count > 2:
+        topology.add_edge(f"{prefix}{count - 1}", f"{prefix}0", cost)
+    return topology
+
+
+def star(count: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A hub-and-spoke topology; node 0 is the hub."""
+    topology = Topology(name=f"star-{count}")
+    names = _node_names(count, prefix)
+    for name in names:
+        topology.add_node(name)
+    for name in names[1:]:
+        topology.add_edge(names[0], name, cost)
+    return topology
+
+
+def grid(rows: int, columns: int, cost: float = 1.0, prefix: str = "n") -> Topology:
+    """A rows x columns grid, nodes named ``<prefix><row>_<column>``."""
+    topology = Topology(name=f"grid-{rows}x{columns}")
+    for row in range(rows):
+        for column in range(columns):
+            topology.add_node(f"{prefix}{row}_{column}")
+    for row in range(rows):
+        for column in range(columns):
+            name = f"{prefix}{row}_{column}"
+            if column + 1 < columns:
+                topology.add_edge(name, f"{prefix}{row}_{column + 1}", cost)
+            if row + 1 < rows:
+                topology.add_edge(name, f"{prefix}{row + 1}_{column}", cost)
+    return topology
+
+
+def random_connected(
+    count: int,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    max_cost: int = 5,
+    prefix: str = "n",
+) -> Topology:
+    """A random connected graph with integer edge costs in [1, max_cost].
+
+    A random spanning tree guarantees connectivity; additional edges are added
+    independently with *edge_probability*.  Fully deterministic for a given
+    seed.
+    """
+    rng = random.Random(seed)
+    topology = Topology(name=f"random-{count}-p{edge_probability}-s{seed}")
+    names = _node_names(count, prefix)
+    for name in names:
+        topology.add_node(name)
+
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    for index in range(1, len(shuffled)):
+        attach_to = shuffled[rng.randrange(index)]
+        topology.add_edge(shuffled[index], attach_to, float(rng.randint(1, max_cost)))
+
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if not topology.has_edge(a, b) and rng.random() < edge_probability:
+                topology.add_edge(a, b, float(rng.randint(1, max_cost)))
+    return topology
+
+
+def isp_hierarchy(
+    tier1_count: int = 3,
+    tier2_per_tier1: int = 2,
+    stubs_per_tier2: int = 2,
+    seed: int = 0,
+) -> Topology:
+    """A hierarchical ISP-like topology used by the BGP/Quagga use case.
+
+    Tier-1 providers form a full mesh ("peer" links); each tier-1 has a number
+    of tier-2 customers, which in turn serve stub ASes.  Node names encode the
+    tier: ``t1_0``, ``t2_0_1``, ``stub_0_1_0``.
+    """
+    rng = random.Random(seed)
+    topology = Topology(name=f"isp-{tier1_count}x{tier2_per_tier1}x{stubs_per_tier2}")
+    tier1 = [f"t1_{index}" for index in range(tier1_count)]
+    for name in tier1:
+        topology.add_node(name)
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            topology.add_edge(a, b, 1.0)
+
+    for i, provider in enumerate(tier1):
+        for j in range(tier2_per_tier1):
+            tier2 = f"t2_{i}_{j}"
+            topology.add_edge(provider, tier2, 1.0)
+            # occasional lateral peering between tier-2 networks
+            if j > 0 and rng.random() < 0.5:
+                topology.add_edge(tier2, f"t2_{i}_{j - 1}", 1.0)
+            for k in range(stubs_per_tier2):
+                stub = f"stub_{i}_{j}_{k}"
+                topology.add_edge(tier2, stub, 1.0)
+    return topology
+
+
+def from_edges(edges: Sequence[Tuple[str, str, float]], name: str = "custom") -> Topology:
+    """Build a topology from an explicit undirected edge list."""
+    topology = Topology(name=name)
+    for a, b, cost in edges:
+        topology.add_edge(a, b, cost)
+    return topology

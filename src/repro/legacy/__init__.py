@@ -1,0 +1,49 @@
+"""Legacy ("black box") application integration.
+
+The paper's second use case tracks provenance for an *unmodified legacy
+application* — the Quagga BGP routing suite — by interposing a proxy that
+extracts state changes from intercepted application messages and by using
+NDlog "maybe" rules to describe the possible causal relationships between
+messages entering and leaving the black box.
+
+This package provides the full substitute stack:
+
+* :mod:`repro.legacy.relationships` — AS-level topologies with
+  customer/provider/peer business relationships;
+* :mod:`repro.legacy.bgp` — a BGP decision-process simulator standing in for
+  the Quagga daemons (announcements, withdrawals, Gao-Rexford export
+  policies, AS-path loop detection);
+* :mod:`repro.legacy.routeviews` — a seeded generator of RouteViews-style
+  update traces;
+* :mod:`repro.legacy.maybe` — evaluation of "maybe" rules over observed
+  input/output tuples;
+* :mod:`repro.legacy.proxy` — the proxy that observes BGP messages and RIB
+  changes and turns them into ``inputRoute`` / ``outputRoute`` /
+  ``routeEntry`` tuples with provenance;
+* :mod:`repro.legacy.quagga` — a facade wiring everything together into a
+  queryable deployment.
+"""
+
+from repro.legacy.relationships import ASRelationship, ASTopology
+from repro.legacy.bgp import BgpDaemon, BgpNetwork, BgpUpdate, Route
+from repro.legacy.routeviews import TraceEvent, generate_trace, parse_trace, render_trace
+from repro.legacy.maybe import MaybeRuleEvaluator
+from repro.legacy.proxy import LegacyProxy, LEGACY_PROGRAM_SOURCE
+from repro.legacy.quagga import QuaggaDeployment
+
+__all__ = [
+    "ASRelationship",
+    "ASTopology",
+    "BgpDaemon",
+    "BgpNetwork",
+    "BgpUpdate",
+    "Route",
+    "TraceEvent",
+    "generate_trace",
+    "parse_trace",
+    "render_trace",
+    "MaybeRuleEvaluator",
+    "LegacyProxy",
+    "LEGACY_PROGRAM_SOURCE",
+    "QuaggaDeployment",
+]

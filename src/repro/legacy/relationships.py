@@ -1,0 +1,191 @@
+"""AS-level topologies with business relationships.
+
+The paper's BGP use case builds "a topology of ASes that consists of several
+large and small ISPs connected by a mix of customer/provider/peer
+relationships".  :class:`ASTopology` models exactly that: a set of AS numbers
+connected by links annotated with either a customer→provider or a peer↔peer
+relationship, plus the standard Gao-Rexford export policy that the BGP
+simulator applies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import LegacyIntegrationError
+
+
+class ASRelationship(Enum):
+    """The business relationship on one AS-level link, seen from the first AS."""
+
+    CUSTOMER_OF = "customer-of"   # first AS is a customer of the second (pays it)
+    PROVIDER_OF = "provider-of"   # first AS is a provider of the second
+    PEER = "peer"                 # settlement-free peering
+
+
+@dataclass
+class ASTopology:
+    """ASes plus annotated relationships.
+
+    Relationships are stored once per unordered pair in canonical form:
+    ``(customer, provider)`` for transit links and ``(min, max)`` for peering
+    links.
+    """
+
+    name: str = "as-topology"
+    ases: Set[int] = field(default_factory=set)
+    tiers: Dict[int, int] = field(default_factory=dict)
+    _transit: Set[Tuple[int, int]] = field(default_factory=set)  # (customer, provider)
+    _peering: Set[Tuple[int, int]] = field(default_factory=set)  # (a, b) with a < b
+
+    # -- construction --------------------------------------------------------------
+
+    def add_as(self, asn: int, tier: int = 3) -> None:
+        self.ases.add(asn)
+        self.tiers[asn] = tier
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Record that *customer* buys transit from *provider*."""
+        self.add_as(customer, self.tiers.get(customer, 3))
+        self.add_as(provider, self.tiers.get(provider, 3))
+        self._transit.add((customer, provider))
+
+    def add_peering(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between *a* and *b*."""
+        self.add_as(a, self.tiers.get(a, 3))
+        self.add_as(b, self.tiers.get(b, 3))
+        self._peering.add((min(a, b), max(a, b)))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def relationship(self, a: int, b: int) -> Optional[ASRelationship]:
+        """The relationship of *a* towards *b*, or None when not adjacent."""
+        if (a, b) in self._transit:
+            return ASRelationship.CUSTOMER_OF
+        if (b, a) in self._transit:
+            return ASRelationship.PROVIDER_OF
+        if (min(a, b), max(a, b)) in self._peering:
+            return ASRelationship.PEER
+        return None
+
+    def neighbors(self, asn: int) -> List[int]:
+        result = set()
+        for customer, provider in self._transit:
+            if customer == asn:
+                result.add(provider)
+            elif provider == asn:
+                result.add(customer)
+        for a, b in self._peering:
+            if a == asn:
+                result.add(b)
+            elif b == asn:
+                result.add(a)
+        return sorted(result)
+
+    def customers(self, asn: int) -> List[int]:
+        return sorted(customer for customer, provider in self._transit if provider == asn)
+
+    def providers(self, asn: int) -> List[int]:
+        return sorted(provider for customer, provider in self._transit if customer == asn)
+
+    def peers(self, asn: int) -> List[int]:
+        result = []
+        for a, b in self._peering:
+            if a == asn:
+                result.append(b)
+            elif b == asn:
+                result.append(a)
+        return sorted(result)
+
+    def links(self) -> List[Tuple[int, int, ASRelationship]]:
+        """Every adjacency once, annotated with the first AS's relationship."""
+        result: List[Tuple[int, int, ASRelationship]] = []
+        for customer, provider in sorted(self._transit):
+            result.append((customer, provider, ASRelationship.CUSTOMER_OF))
+        for a, b in sorted(self._peering):
+            result.append((a, b, ASRelationship.PEER))
+        return result
+
+    def as_count(self) -> int:
+        return len(self.ases)
+
+    # -- export policy ------------------------------------------------------------------
+
+    def should_export(self, exporter: int, learned_from: Optional[int], to_neighbor: int) -> bool:
+        """Gao-Rexford export policy.
+
+        Routes learned from customers (or originated locally,
+        ``learned_from is None``) are exported to every neighbor; routes
+        learned from peers or providers are exported only to customers.
+        """
+        if self.relationship(exporter, to_neighbor) is None:
+            raise LegacyIntegrationError(
+                f"AS {exporter} and AS {to_neighbor} are not adjacent"
+            )
+        if learned_from is None:
+            return True
+        relationship = self.relationship(exporter, learned_from)
+        if relationship is None:
+            raise LegacyIntegrationError(
+                f"AS {exporter} did not learn routes from non-neighbor AS {learned_from}"
+            )
+        if relationship == ASRelationship.PROVIDER_OF:
+            # learned from a customer: export everywhere
+            return True
+        # learned from a peer or provider: only export to customers
+        return self.relationship(exporter, to_neighbor) == ASRelationship.PROVIDER_OF
+
+    def local_preference(self, asn: int, learned_from: int) -> int:
+        """Standard preference: customer routes > peer routes > provider routes."""
+        relationship = self.relationship(asn, learned_from)
+        if relationship == ASRelationship.PROVIDER_OF:
+            return 300
+        if relationship == ASRelationship.PEER:
+            return 200
+        return 100
+
+
+def hierarchy(
+    tier1_count: int = 3,
+    tier2_per_tier1: int = 2,
+    stubs_per_tier2: int = 2,
+    seed: int = 0,
+    base_asn: int = 100,
+) -> ASTopology:
+    """A hierarchical inter-domain topology: tier-1 clique, tier-2 customers, stubs.
+
+    Mirrors :func:`repro.engine.topology.isp_hierarchy` but with business
+    relationships: tier-1s peer with each other, tier-2s buy transit from
+    tier-1s (with occasional tier-2 lateral peering), stubs buy transit from
+    tier-2s.
+    """
+    rng = random.Random(seed)
+    topology = ASTopology(name=f"hierarchy-{tier1_count}x{tier2_per_tier1}x{stubs_per_tier2}")
+
+    tier1 = [base_asn + index for index in range(tier1_count)]
+    for asn in tier1:
+        topology.add_as(asn, tier=1)
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            topology.add_peering(a, b)
+
+    next_asn = base_asn + tier1_count
+    for provider in tier1:
+        previous_tier2: Optional[int] = None
+        for _ in range(tier2_per_tier1):
+            tier2 = next_asn
+            next_asn += 1
+            topology.add_as(tier2, tier=2)
+            topology.add_customer_provider(tier2, provider)
+            if previous_tier2 is not None and rng.random() < 0.5:
+                topology.add_peering(tier2, previous_tier2)
+            previous_tier2 = tier2
+            for _ in range(stubs_per_tier2):
+                stub = next_asn
+                next_asn += 1
+                topology.add_as(stub, tier=3)
+                topology.add_customer_provider(stub, tier2)
+    return topology

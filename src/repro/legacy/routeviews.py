@@ -1,0 +1,111 @@
+"""Synthetic RouteViews-style BGP update traces.
+
+The paper drives its Quagga/BGP demonstration with "actual BGP traces from
+RouteViews".  RouteViews archives are not available offline, so this module
+generates *synthetic* traces with the same shape: a time-ordered stream of
+prefix originations and withdrawals from stub/edge ASes, including flapping
+prefixes (announce → withdraw → re-announce bursts).  Traces are fully
+deterministic for a given seed and can be rendered to / parsed from a simple
+MRT-inspired text format so they can be stored alongside experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import TraceFormatError
+from repro.legacy.relationships import ASTopology
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: an AS announcing or withdrawing a prefix it originates."""
+
+    time: float
+    asn: int
+    prefix: str
+    announce: bool
+
+    def __str__(self) -> str:
+        kind = "A" if self.announce else "W"
+        return f"{self.time!r}|{kind}|{self.asn}|{self.prefix}"
+
+
+def _prefix_for(index: int) -> str:
+    """A deterministic, unique /24 prefix for the *index*-th origination."""
+    second = 1 + (index // 255) % 255
+    third = index % 255
+    return f"10.{second}.{third}.0/24"
+
+
+def generate_trace(
+    topology: ASTopology,
+    prefixes_per_stub: int = 1,
+    flap_probability: float = 0.3,
+    flaps_max: int = 2,
+    duration: float = 100.0,
+    seed: int = 0,
+    origin_ases: Optional[Sequence[int]] = None,
+) -> List[TraceEvent]:
+    """Generate a synthetic RouteViews-like update trace for *topology*.
+
+    Every origin AS (by default the lowest-tier ASes) announces
+    ``prefixes_per_stub`` prefixes at a random time; with probability
+    ``flap_probability`` a prefix later flaps (withdraw + re-announce) up to
+    ``flaps_max`` times.  Events are returned sorted by time.
+    """
+    rng = random.Random(seed)
+    if origin_ases is None:
+        max_tier = max(topology.tiers.values()) if topology.tiers else 3
+        origin_ases = sorted(asn for asn, tier in topology.tiers.items() if tier == max_tier)
+        if not origin_ases:
+            origin_ases = sorted(topology.ases)
+
+    events: List[TraceEvent] = []
+    prefix_index = 0
+    for asn in origin_ases:
+        for _ in range(prefixes_per_stub):
+            prefix = _prefix_for(prefix_index)
+            prefix_index += 1
+            announce_time = rng.uniform(0.0, duration * 0.4)
+            events.append(TraceEvent(announce_time, asn, prefix, announce=True))
+            if rng.random() < flap_probability:
+                flap_count = rng.randint(1, flaps_max)
+                time = announce_time
+                for _ in range(flap_count):
+                    withdraw_time = rng.uniform(time + 1.0, duration * 0.7)
+                    reannounce_time = rng.uniform(withdraw_time + 1.0, duration)
+                    events.append(TraceEvent(withdraw_time, asn, prefix, announce=False))
+                    events.append(TraceEvent(reannounce_time, asn, prefix, announce=True))
+                    time = reannounce_time
+    events.sort(key=lambda event: (event.time, event.asn, event.prefix))
+    return events
+
+
+def render_trace(events: Iterable[TraceEvent]) -> str:
+    """Serialise a trace to the text format ``time|A/W|asn|prefix`` (one per line)."""
+    return "\n".join(str(event) for event in events) + "\n"
+
+
+def parse_trace(text: str) -> List[TraceEvent]:
+    """Parse the text format produced by :func:`render_trace`."""
+    events: List[TraceEvent] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) != 4:
+            raise TraceFormatError(f"line {line_number}: expected 4 fields, found {len(parts)}")
+        time_text, kind, asn_text, prefix = parts
+        if kind not in ("A", "W"):
+            raise TraceFormatError(f"line {line_number}: unknown record type {kind!r}")
+        try:
+            time = float(time_text)
+            asn = int(asn_text)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: {exc}") from exc
+        events.append(TraceEvent(time=time, asn=asn, prefix=prefix, announce=kind == "A"))
+    return events

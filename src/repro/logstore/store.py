@@ -1,0 +1,97 @@
+"""The central log store collecting snapshots from every node."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.errors import LogStoreError
+from repro.logstore.snapshot import Snapshot, take_snapshot
+
+
+class LogStore:
+    """An append-only store of system snapshots, ordered by capture time."""
+
+    def __init__(self) -> None:
+        self._snapshots: List[Snapshot] = []
+
+    # -- collection ---------------------------------------------------------------
+
+    def append(self, snapshot: Snapshot) -> None:
+        if self._snapshots and snapshot.time < self._snapshots[-1].time:
+            raise LogStoreError(
+                f"snapshot at time {snapshot.time} is older than the latest stored "
+                f"snapshot at {self._snapshots[-1].time}"
+            )
+        self._snapshots.append(snapshot)
+
+    def collect(self, runtime, label: str = "") -> Snapshot:
+        """Capture a snapshot of *runtime* and append it."""
+        snapshot = take_snapshot(runtime, label=label)
+        self.append(snapshot)
+        return snapshot
+
+    def schedule_periodic(self, runtime, interval: float, count: int, label: str = "periodic") -> None:
+        """Schedule *count* periodic collections on the runtime's simulator.
+
+        This mirrors the paper's "periodically captured as system snapshots at
+        each node, and then propagated to a central Log Store": at each tick
+        the current per-node state is captured and appended.
+        """
+        if interval <= 0:
+            raise LogStoreError("the collection interval must be positive")
+
+        def capture(index: int) -> Callable[[], None]:
+            def action() -> None:
+                self.collect(runtime, label=f"{label}-{index}")
+
+            return action
+
+        for index in range(1, count + 1):
+            runtime.simulator.schedule(interval * index, capture(index), label="snapshot")
+
+    # -- access -----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def snapshots(self) -> List[Snapshot]:
+        return list(self._snapshots)
+
+    def latest(self) -> Snapshot:
+        if not self._snapshots:
+            raise LogStoreError("the log store is empty")
+        return self._snapshots[-1]
+
+    def at_time(self, time: float) -> Snapshot:
+        """The most recent snapshot taken at or before *time*."""
+        candidates = [snapshot for snapshot in self._snapshots if snapshot.time <= time]
+        if not candidates:
+            raise LogStoreError(f"no snapshot exists at or before time {time}")
+        return candidates[-1]
+
+    def by_label(self, label: str) -> Snapshot:
+        for snapshot in self._snapshots:
+            if snapshot.label == label:
+                return snapshot
+        raise LogStoreError(f"no snapshot with label {label!r}")
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist every snapshot to a JSON file."""
+        payload = [snapshot.to_dict() for snapshot in self._snapshots]
+        Path(path).write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "LogStore":
+        """Load a log store previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LogStoreError(f"cannot load log store from {path}: {exc}") from exc
+        store = LogStore()
+        for entry in payload:
+            store.append(Snapshot.from_dict(entry))
+        return store

@@ -1,0 +1,71 @@
+"""Semi-naive (delta) rule rewrite for incremental evaluation.
+
+ExSPAN maintains provenance *incrementally*: when a base tuple is inserted or
+deleted, only the affected derivations are recomputed.  The standard way to
+express this is the semi-naive rewrite: a rule
+
+    h :- b1, b2, ..., bn
+
+is expanded into *n* delta rules, one per body atom.  Delta rule *i* joins the
+*delta* (newly inserted or deleted tuples) of ``bi`` with the full contents of
+every other ``bj``.  The execution engine evaluates delta rules against each
+batch of updates, which gives incremental view maintenance for insertions;
+deletions are handled by the same rules combined with derivation counting in
+the tuple store (see :mod:`repro.engine.store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.ndlog.ast import Literal, Program, Rule
+
+
+@dataclass(frozen=True)
+class DeltaRule:
+    """One semi-naive instantiation of a rule.
+
+    ``delta_index`` is the index (into ``rule.positive_literals``) of the body
+    atom that is joined against the update delta; all other positive atoms are
+    joined against the full stored relations.
+    """
+
+    rule: Rule
+    delta_index: int
+
+    @property
+    def delta_literal(self) -> Literal:
+        return self.rule.positive_literals[self.delta_index]
+
+    @property
+    def delta_relation(self) -> str:
+        return self.delta_literal.atom.relation
+
+    def other_literals(self) -> Tuple[Literal, ...]:
+        positives = self.rule.positive_literals
+        return tuple(lit for index, lit in enumerate(positives) if index != self.delta_index)
+
+    def __str__(self) -> str:
+        return f"Δ[{self.delta_relation}] {self.rule.name}"
+
+
+def delta_rules_for_rule(rule: Rule) -> List[DeltaRule]:
+    """Return one :class:`DeltaRule` per positive body atom of *rule*."""
+    return [DeltaRule(rule, index) for index in range(len(rule.positive_literals))]
+
+
+def delta_rules_for_program(program: Program) -> List[DeltaRule]:
+    """Return the delta rules for every rule in *program* (in rule order)."""
+    result: List[DeltaRule] = []
+    for rule in program.rules:
+        result.extend(delta_rules_for_rule(rule))
+    return result
+
+
+def delta_rules_by_relation(program: Program) -> dict:
+    """Index the program's delta rules by the relation whose delta triggers them."""
+    index: dict = {}
+    for delta_rule in delta_rules_for_program(program):
+        index.setdefault(delta_rule.delta_relation, []).append(delta_rule)
+    return index

@@ -1,0 +1,210 @@
+"""Builtin ``f_*`` function library for NDlog rules.
+
+NDlog rules call side-effect-free builtin functions for list/path
+manipulation, hashing (used by the provenance rewrite) and protocol-specific
+helpers such as ``f_isExtend`` from the paper's "maybe" rule ``br1``.
+
+Functions operate on plain Python values.  Lists/paths are represented as
+tuples so that tuples containing them remain hashable.  Booleans returned by
+predicates are encoded as ``1`` / ``0`` so that rules can write
+``f_member(P, D) == 0`` exactly as in the papers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from repro.errors import UnknownFunctionError
+
+
+def _as_tuple(value: object) -> Tuple[object, ...]:
+    """Coerce list-like values to tuples; scalars become singleton tuples."""
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, list):
+        return tuple(value)
+    return (value,)
+
+
+def _bool(flag: bool) -> int:
+    return 1 if flag else 0
+
+
+class FunctionRegistry:
+    """A registry mapping builtin function names to Python callables.
+
+    The registry is deliberately explicit: rules can only call functions that
+    have been registered, and :class:`~repro.errors.UnknownFunctionError` is
+    raised otherwise, so typos in NDlog programs fail loudly.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Callable[..., object]] = {}
+
+    def register(self, name: str, func: Callable[..., object]) -> None:
+        """Register *func* under *name*, replacing any previous binding."""
+        self._functions[name] = func
+
+    def registered(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._functions))
+
+    def call(self, name: str, args: Sequence[object]) -> object:
+        if name not in self._functions:
+            raise UnknownFunctionError(
+                f"unknown builtin function {name!r}; registered functions: "
+                f"{', '.join(self.names()) or '(none)'}"
+            )
+        return self._functions[name](*args)
+
+    def copy(self) -> "FunctionRegistry":
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# Builtin implementations
+# ---------------------------------------------------------------------------
+
+
+def f_make_list(*items: object) -> Tuple[object, ...]:
+    """Build a list (tuple) from its arguments: ``f_makeList(A, B)`` -> ``(A, B)``."""
+    return tuple(items)
+
+
+def f_init(first: object, second: object) -> Tuple[object, ...]:
+    """Initialise a two-element path, e.g. ``f_init(S, D)`` -> ``(S, D)``."""
+    return (first, second)
+
+
+def f_concat(left: object, right: object) -> Tuple[object, ...]:
+    """Concatenate two lists / values into a single list."""
+    return _as_tuple(left) + _as_tuple(right)
+
+
+def f_prepend(item: object, path: object) -> Tuple[object, ...]:
+    """Prepend *item* to *path*."""
+    return (item,) + _as_tuple(path)
+
+def f_append(path: object, item: object) -> Tuple[object, ...]:
+    """Append *item* to *path*."""
+    return _as_tuple(path) + (item,)
+
+
+def f_member(path: object, item: object) -> int:
+    """Return 1 when *item* occurs in *path*, else 0."""
+    return _bool(item in _as_tuple(path))
+
+
+def f_in_path(path: object, item: object) -> int:
+    """Alias of :func:`f_member`, matching declarative-routing programs."""
+    return f_member(path, item)
+
+
+def f_size(path: object) -> int:
+    """Return the number of elements in *path*."""
+    return len(_as_tuple(path))
+
+
+def f_first(path: object) -> object:
+    """Return the first element of *path*."""
+    return _as_tuple(path)[0]
+
+
+def f_last(path: object) -> object:
+    """Return the last element of *path*."""
+    return _as_tuple(path)[-1]
+
+
+def f_reverse(path: object) -> Tuple[object, ...]:
+    """Return *path* reversed."""
+    return tuple(reversed(_as_tuple(path)))
+
+
+def f_is_extend(route_after: object, route_before: object, node: object) -> int:
+    """The ``f_isExtend(Route2, Route1, AS)`` function from the paper's rule ``br1``.
+
+    Returns 1 when ``route_after`` and ``route_before`` differ only by the
+    addition of ``node`` (prepended or appended), i.e. the route was extended
+    by the AS that processed it, which is how the "maybe" rule infers a
+    causal relationship between an ``inputRoute`` and an ``outputRoute``.
+    """
+    after = _as_tuple(route_after)
+    before = _as_tuple(route_before)
+    if len(after) != len(before) + 1:
+        return 0
+    return _bool(after == (node,) + before or after == before + (node,))
+
+
+def f_min(left: object, right: object) -> object:
+    """Binary minimum."""
+    return min(left, right)  # type: ignore[type-var]
+
+
+def f_max(left: object, right: object) -> object:
+    """Binary maximum."""
+    return max(left, right)  # type: ignore[type-var]
+
+
+def f_abs(value: object) -> object:
+    """Absolute value."""
+    return abs(value)  # type: ignore[arg-type]
+
+
+def f_sha1(*values: object) -> str:
+    """Deterministic content hash used by the provenance rewrite for VIDs/RIDs.
+
+    The hash is computed over the ``repr`` of the arguments, which is stable
+    for the value types NDlog uses (numbers, strings, tuples).
+    """
+    digest = hashlib.sha1(repr(values).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def f_match(value: object, pattern: object) -> int:
+    """Return 1 when ``str(value)`` starts with ``str(pattern)`` (prefix match)."""
+    return _bool(str(value).startswith(str(pattern)))
+
+
+def default_registry() -> FunctionRegistry:
+    """Build a registry pre-populated with every builtin function.
+
+    Both snake_case and the camelCase spellings used in the papers are
+    registered, so rules can be written verbatim (``f_isExtend``) or in a
+    more Pythonic style (``f_is_extend``).
+    """
+    registry = FunctionRegistry()
+    builtins: Dict[str, Callable[..., object]] = {
+        "f_makeList": f_make_list,
+        "f_init": f_init,
+        "f_initList": f_init,
+        "f_concat": f_concat,
+        "f_prepend": f_prepend,
+        "f_append": f_append,
+        "f_member": f_member,
+        "f_inPath": f_in_path,
+        "f_size": f_size,
+        "f_first": f_first,
+        "f_last": f_last,
+        "f_reverse": f_reverse,
+        "f_isExtend": f_is_extend,
+        "f_min": f_min,
+        "f_max": f_max,
+        "f_abs": f_abs,
+        "f_sha1": f_sha1,
+        "f_vid": f_sha1,
+        "f_rid": f_sha1,
+        "f_match": f_match,
+    }
+    snake_aliases: Dict[str, Callable[..., object]] = {
+        "f_make_list": f_make_list,
+        "f_in_path": f_in_path,
+        "f_is_extend": f_is_extend,
+    }
+    for name, func in {**builtins, **snake_aliases}.items():
+        registry.register(name, func)
+    return registry

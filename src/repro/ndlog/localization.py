@@ -1,0 +1,166 @@
+"""Localization rewrite for NDlog rules.
+
+A rule whose body atoms are located at more than one node cannot be executed
+as written: Datalog joins are evaluated at a single node.  The localization
+rewrite (Loo et al., *Declarative Networking*) turns such a rule into an
+equivalent set of rules in which every rule body is *local* — all body atoms
+share one location specifier — and data flows between locations only through
+the heads of intermediate "shipping" rules.
+
+Example::
+
+    r2 pathCost(@S,D,C1+C2) :- link(@S,Z,C1), pathCost(@Z,D,C2).
+
+becomes::
+
+    r2_loc1 e_ship_r2_1(@Z,S,C1)     :- link(@S,Z,C1).
+    r2_loc2 pathCost(@S,D,C1+C2)     :- e_ship_r2_1(@Z,S,C1), pathCost(@Z,D,C2).
+
+The rewrite requires the standard *link-restriction*: the next location
+variable must already be bound by an atom in the current location group,
+otherwise there is no way to know where to ship the intermediate tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import NDlogValidationError
+from repro.ndlog.ast import (
+    Assignment,
+    Atom,
+    BodyElement,
+    Condition,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+)
+
+#: Prefix used for intermediate shipping relations created by the rewrite.
+INTERMEDIATE_PREFIX = "e_ship_"
+
+
+def is_intermediate_relation(relation: str) -> bool:
+    """True for relations introduced by :func:`localize_rule`."""
+    return relation.startswith(INTERMEDIATE_PREFIX)
+
+
+def _location_name(atom: Atom) -> str:
+    term = atom.location_term
+    if isinstance(term, Variable):
+        return term.name
+    # Constant location: use its rendered form as the group key.
+    return f"<{term}>" if term is not None else "<local>"
+
+
+def _ordered_location_groups(rule: Rule) -> List[Tuple[str, List[Literal]]]:
+    """Group body literals by location variable, in order of first appearance."""
+    order: List[str] = []
+    groups: Dict[str, List[Literal]] = {}
+    for literal in rule.literals:
+        name = _location_name(literal.atom)
+        if name not in groups:
+            groups[name] = []
+            order.append(name)
+        groups[name].append(literal)
+    return [(name, groups[name]) for name in order]
+
+
+def localize_rule(rule: Rule, counter_start: int = 1) -> List[Rule]:
+    """Rewrite *rule* into an equivalent list of local rules.
+
+    Local rules are returned unchanged (as a single-element list).  Raises
+    :class:`~repro.errors.NDlogValidationError` when the rule violates the
+    link-restriction and cannot be localized.
+    """
+    if rule.is_local():
+        return [rule]
+
+    groups = _ordered_location_groups(rule)
+    produced: List[Rule] = []
+    remaining_rule = rule
+    counter = counter_start
+
+    while True:
+        groups = _ordered_location_groups(remaining_rule)
+        if len(groups) <= 1:
+            # The final local remainder keeps the original rule's name so that
+            # provenance records refer to the rule the user actually wrote.
+            produced.append(
+                Rule(
+                    head=remaining_rule.head,
+                    body=remaining_rule.body,
+                    name=rule.name,
+                    is_maybe=rule.is_maybe,
+                )
+            )
+            return produced
+
+        first_location, first_group = groups[0]
+        next_location, _next_group = groups[1]
+
+        bound_here: Set[str] = set()
+        for literal in first_group:
+            bound_here |= literal.atom.variables()
+
+        if next_location not in bound_here:
+            raise NDlogValidationError(
+                f"rule {rule.name!r} is not link-restricted: location variable "
+                f"{next_location!r} is not bound by any atom at {first_location!r}"
+            )
+
+        # Variables needed downstream: by the remaining groups, by conditions
+        # and assignments, and by the head.
+        needed: Set[str] = set(remaining_rule.head.variables())
+        for _name, group in groups[1:]:
+            for literal in group:
+                needed |= literal.atom.variables()
+        for element in remaining_rule.body:
+            if isinstance(element, (Condition, Assignment)):
+                needed |= element.variables()
+
+        shipped = sorted((needed & bound_here) - {next_location})
+
+        intermediate_relation = f"{INTERMEDIATE_PREFIX}{rule.name}_{counter}"
+        intermediate_terms = tuple([Variable(next_location)] + [Variable(v) for v in shipped])
+        intermediate_head = Atom(intermediate_relation, intermediate_terms, location_index=0)
+
+        shipping_rule = Rule(
+            head=intermediate_head,
+            body=tuple(first_group),
+            name=f"{rule.name}_loc{counter}",
+            is_maybe=False,
+        )
+        produced.append(shipping_rule)
+
+        # Rebuild the remaining rule: replace the first group's literals with
+        # the intermediate atom, keep everything else (order preserved).
+        new_body: List[BodyElement] = [Literal(intermediate_head)]
+        first_group_set = set(id(lit) for lit in first_group)
+        for element in remaining_rule.body:
+            if isinstance(element, Literal) and id(element) in first_group_set:
+                continue
+            new_body.append(element)
+
+        remaining_rule = Rule(
+            head=remaining_rule.head,
+            body=tuple(new_body),
+            name=f"{rule.name}__rest{counter}",
+            is_maybe=remaining_rule.is_maybe,
+        )
+        counter += 1
+
+
+def localize_program(program: Program) -> Program:
+    """Return a new program in which every rule is local.
+
+    Rules that are already local are copied verbatim; non-local rules are
+    replaced by their localized expansion.  Materialize declarations are
+    preserved.
+    """
+    localized = Program(name=program.name, materialized=dict(program.materialized))
+    for rule in program.rules:
+        for rewritten in localize_rule(rule):
+            localized.add_rule(rewritten)
+    return localized

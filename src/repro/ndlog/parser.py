@@ -1,0 +1,425 @@
+"""Recursive-descent parser for NDlog programs.
+
+Grammar (informal)::
+
+    program     := clause*
+    clause      := materialize | rule
+    materialize := 'materialize' '(' IDENT ',' lifetime ',' size ',' 'keys' '(' nums ')' ')' '.'
+    rule        := [label] head (':-' | '?-') body '.'
+    head        := atom
+    body        := body_elem (',' body_elem)*
+    body_elem   := '!' atom | atom | assignment | condition
+    atom        := IDENT '(' arg (',' arg)* ')'
+    arg         := ['@'] expr | aggregate
+    aggregate   := ('min'|'max'|'count'|'sum'|'avg') '<' (VARIABLE | '*') '>'
+    assignment  := VARIABLE ':=' expr
+    condition   := expr (cmp expr)?
+    expr        := arithmetic over variables, constants, lists, function calls
+
+The rule label is optional; unlabeled rules get synthetic names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog import lexer
+from repro.ndlog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Condition,
+    Constant,
+    Expression,
+    FunctionCall,
+    Literal,
+    Materialize,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.ndlog.lexer import IDENT, NUMBER, STRING, SYMBOL, VARIABLE, Token
+
+_COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_AGGREGATE_FUNCS = set(Aggregate.SUPPORTED)
+
+
+class _ClauseParser:
+    """Parses a single clause (one rule or one materialize declaration)."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self._position + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            raise NDlogSyntaxError(
+                "unexpected end of clause",
+                line=last.line if last else 0,
+                column=last.column if last else 0,
+            )
+        self._position += 1
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._next()
+        if token.kind != SYMBOL or token.value != symbol:
+            raise NDlogSyntaxError(
+                f"expected {symbol!r} but found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def _at_symbol(self, symbol: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token is not None and token.kind == SYMBOL and token.value == symbol
+
+    def _done(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def _error(self, message: str) -> NDlogSyntaxError:
+        token = self._peek() or self._tokens[-1]
+        return NDlogSyntaxError(message, line=token.line, column=token.column)
+
+    # -- clause dispatch ------------------------------------------------------
+
+    def parse_clause(self) -> Union[Rule, Materialize]:
+        first = self._peek()
+        if first is not None and first.kind == IDENT and first.value == "materialize":
+            return self._parse_materialize()
+        return self._parse_rule()
+
+    # -- materialize ----------------------------------------------------------
+
+    def _parse_materialize(self) -> Materialize:
+        self._next()  # 'materialize'
+        self._expect_symbol("(")
+        relation_token = self._next()
+        if relation_token.kind != IDENT:
+            raise self._error("materialize expects a relation name")
+        relation = str(relation_token.value)
+        self._expect_symbol(",")
+        lifetime = self._parse_bound()
+        self._expect_symbol(",")
+        max_size = self._parse_bound()
+        self._expect_symbol(",")
+        keys = self._parse_keys()
+        self._expect_symbol(")")
+        return Materialize(
+            relation=relation,
+            lifetime=lifetime,
+            max_size=None if max_size is None else int(max_size),
+            keys=keys,
+        )
+
+    def _parse_bound(self) -> Optional[float]:
+        token = self._next()
+        if token.kind == IDENT and token.value == "infinity":
+            return None
+        if token.kind == NUMBER:
+            return float(token.value)
+        raise NDlogSyntaxError(
+            f"expected a number or 'infinity', found {token.value!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_keys(self) -> Tuple[int, ...]:
+        token = self._next()
+        if token.kind != IDENT or token.value != "keys":
+            raise NDlogSyntaxError(
+                f"expected 'keys', found {token.value!r}", line=token.line, column=token.column
+            )
+        self._expect_symbol("(")
+        keys: List[int] = []
+        if not self._at_symbol(")"):
+            while True:
+                number = self._next()
+                if number.kind != NUMBER:
+                    raise NDlogSyntaxError(
+                        f"expected a key position, found {number.value!r}",
+                        line=number.line,
+                        column=number.column,
+                    )
+                keys.append(int(number.value))
+                if self._at_symbol(","):
+                    self._next()
+                    continue
+                break
+        self._expect_symbol(")")
+        return tuple(keys)
+
+    # -- rules ----------------------------------------------------------------
+
+    def _parse_rule(self) -> Rule:
+        name = ""
+        # Optional rule label: IDENT immediately followed by another IDENT
+        # (the head relation).  E.g. "r1 pathCost(@S,D,C) :- ...".
+        first = self._peek()
+        second = self._peek(1)
+        if (
+            first is not None
+            and first.kind == IDENT
+            and second is not None
+            and second.kind == IDENT
+        ):
+            name = str(first.value)
+            self._next()
+
+        head = self._parse_atom(allow_aggregate=True)
+
+        separator = self._next()
+        if separator.kind != SYMBOL or separator.value not in (":-", "?-"):
+            raise NDlogSyntaxError(
+                f"expected ':-' or '?-', found {separator.value!r}",
+                line=separator.line,
+                column=separator.column,
+            )
+        is_maybe = separator.value == "?-"
+
+        body: List[Union[Literal, Condition, Assignment]] = []
+        while True:
+            body.append(self._parse_body_element())
+            if self._at_symbol(","):
+                self._next()
+                continue
+            break
+
+        if not self._done():
+            raise self._error("unexpected tokens after rule body")
+
+        return Rule(head=head, body=tuple(body), name=name, is_maybe=is_maybe)
+
+    def _parse_body_element(self) -> Union[Literal, Condition, Assignment]:
+        # Negated atom
+        if self._at_symbol("!"):
+            self._next()
+            return Literal(self._parse_atom(allow_aggregate=False), negated=True)
+
+        # Assignment: VARIABLE ':='
+        token = self._peek()
+        if token is not None and token.kind == VARIABLE and self._at_symbol(":=", 1):
+            variable = str(self._next().value)
+            self._next()  # ':='
+            expression = self._parse_expression()
+            return Assignment(variable, expression)
+
+        # Atom: IDENT '(' ... but not a function call used as a condition.
+        if (
+            token is not None
+            and token.kind == IDENT
+            and self._at_symbol("(", 1)
+            and not str(token.value).startswith("f_")
+        ):
+            return Literal(self._parse_atom(allow_aggregate=False))
+
+        # Otherwise: a condition (comparison or bare boolean expression).
+        expression = self._parse_expression()
+        comparison = self._peek()
+        if (
+            comparison is not None
+            and comparison.kind == SYMBOL
+            and (comparison.value in _COMPARISON_OPS or comparison.value == "=")
+        ):
+            op = str(self._next().value)
+            if op == "=":
+                op = "=="
+            right = self._parse_expression()
+            expression = Expression(op, expression, right)
+        return Condition(expression)
+
+    def _parse_atom(self, allow_aggregate: bool) -> Atom:
+        relation_token = self._next()
+        if relation_token.kind != IDENT:
+            raise NDlogSyntaxError(
+                f"expected a relation name, found {relation_token.value!r}",
+                line=relation_token.line,
+                column=relation_token.column,
+            )
+        relation = str(relation_token.value)
+        self._expect_symbol("(")
+        terms: List[Term] = []
+        location_index: Optional[int] = None
+        if not self._at_symbol(")"):
+            index = 0
+            while True:
+                if self._at_symbol("@"):
+                    self._next()
+                    if location_index is not None:
+                        raise self._error(
+                            f"atom {relation!r} has more than one location specifier"
+                        )
+                    location_index = index
+                terms.append(self._parse_argument(allow_aggregate))
+                index += 1
+                if self._at_symbol(","):
+                    self._next()
+                    continue
+                break
+        self._expect_symbol(")")
+        return Atom(relation, tuple(terms), location_index)
+
+    def _parse_argument(self, allow_aggregate: bool) -> Term:
+        token = self._peek()
+        follower = self._peek(1)
+        if (
+            allow_aggregate
+            and token is not None
+            and token.kind == IDENT
+            and token.value in _AGGREGATE_FUNCS
+            and follower is not None
+            and follower.kind == SYMBOL
+            and follower.value == "<"
+        ):
+            func = str(self._next().value)
+            self._next()  # '<'
+            inner = self._next()
+            variable: Optional[str]
+            if inner.kind == VARIABLE:
+                variable = str(inner.value)
+            elif inner.kind == SYMBOL and inner.value == "*":
+                variable = None
+            else:
+                raise NDlogSyntaxError(
+                    f"expected a variable or '*' in aggregate, found {inner.value!r}",
+                    line=inner.line,
+                    column=inner.column,
+                )
+            self._expect_symbol(">")
+            return Aggregate(func, variable)
+        return self._parse_expression()
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expression(self) -> Term:
+        left = self._parse_term()
+        while self._at_symbol("+") or self._at_symbol("-"):
+            op = str(self._next().value)
+            right = self._parse_term()
+            left = Expression(op, left, right)
+        return left
+
+    def _parse_term(self) -> Term:
+        left = self._parse_factor()
+        while self._at_symbol("*") or self._at_symbol("/") or self._at_symbol("%"):
+            op = str(self._next().value)
+            right = self._parse_factor()
+            left = Expression(op, left, right)
+        return left
+
+    def _parse_factor(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of expression")
+
+        if token.kind == NUMBER:
+            self._next()
+            return Constant(token.value)
+        if token.kind == STRING:
+            self._next()
+            return Constant(str(token.value))
+        if token.kind == VARIABLE:
+            self._next()
+            return Variable(str(token.value))
+        if token.kind == SYMBOL and token.value == "-":
+            self._next()
+            inner = self._parse_factor()
+            return Expression("-", Constant(0), inner)
+        if token.kind == SYMBOL and token.value == "(":
+            self._next()
+            inner = self._parse_expression()
+            self._expect_symbol(")")
+            return inner
+        if token.kind == SYMBOL and token.value == "[":
+            return self._parse_list()
+        if token.kind == IDENT:
+            # Function call or bare identifier constant (e.g. atom-like constants).
+            if self._at_symbol("(", 1):
+                name = str(self._next().value)
+                self._next()  # '('
+                args: List[Term] = []
+                if not self._at_symbol(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._at_symbol(","):
+                            self._next()
+                            continue
+                        break
+                self._expect_symbol(")")
+                return FunctionCall(name, tuple(args))
+            self._next()
+            return Constant(str(token.value))
+
+        raise NDlogSyntaxError(
+            f"unexpected token {token.value!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _parse_list(self) -> Term:
+        """Parse a literal list ``[a, b, c]`` into a tuple constant.
+
+        Lists containing variables are represented as an ``f_makeList`` call so
+        that they can be evaluated once bindings are known.
+        """
+        self._expect_symbol("[")
+        elements: List[Term] = []
+        if not self._at_symbol("]"):
+            while True:
+                elements.append(self._parse_expression())
+                if self._at_symbol(","):
+                    self._next()
+                    continue
+                break
+        self._expect_symbol("]")
+        if all(isinstance(element, Constant) for element in elements):
+            return Constant(tuple(element.value for element in elements))  # type: ignore[union-attr]
+        return FunctionCall("f_makeList", tuple(elements))
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse NDlog source text into a :class:`Program`."""
+    tokens = lexer.tokenize(text)
+    program = Program(name=name)
+    rule_count = 0
+    for clause_tokens in lexer.iter_clauses(tokens):
+        clause = _ClauseParser(clause_tokens).parse_clause()
+        if isinstance(clause, Materialize):
+            program.add_materialize(clause)
+        else:
+            rule_count += 1
+            if clause.name.startswith("rule"):
+                # The rule had no explicit label; give it a program-scoped one.
+                clause = clause.rename(f"{name}_r{rule_count}")
+            program.add_rule(clause)
+    return program
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single NDlog rule (must end with '.')."""
+    tokens = lexer.tokenize(text)
+    clauses = list(lexer.iter_clauses(tokens))
+    if len(clauses) != 1:
+        raise NDlogSyntaxError(f"expected exactly one rule, found {len(clauses)} clauses")
+    clause = _ClauseParser(clauses[0]).parse_clause()
+    if isinstance(clause, Materialize):
+        raise NDlogSyntaxError("expected a rule, found a materialize declaration")
+    return clause

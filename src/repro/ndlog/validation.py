@@ -1,0 +1,235 @@
+"""Safety and well-formedness checks for NDlog programs.
+
+The checks implemented here mirror the restrictions that declarative
+networking engines (P2, RapidNet) place on NDlog programs so that they can be
+executed as distributed dataflows:
+
+* every rule head and every body atom of a distributed relation carries
+  exactly one location specifier, and the specifier is a variable;
+* rules are *safe*: every head variable and every variable used in a
+  condition, assignment or negated atom is bound by a positive body atom or
+  by an earlier assignment;
+* at most one aggregate per head, and aggregates only appear in heads;
+* rules are *link-restricted enough* to be localizable: the localization
+  rewrite must be able to find, for every remote location variable, a body
+  atom at an already-reachable location that mentions it (this is checked by
+  actually running the rewrite);
+* referenced builtin functions exist in the function registry;
+* the program is stratifiable with respect to negation and aggregation.
+
+``validate_program`` raises :class:`~repro.errors.NDlogValidationError` with
+an explanatory message on the first violation, or returns a list of
+(informational) warnings when the program is acceptable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.errors import NDlogValidationError
+from repro.ndlog.ast import (
+    Aggregate,
+    Assignment,
+    Atom,
+    Condition,
+    FunctionCall,
+    Literal,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.ndlog.functions import FunctionRegistry, default_registry
+
+#: Relations that the provenance machinery introduces; they are location-aware
+#: but generated code may omit explicit specifiers for them.
+PROVENANCE_RELATIONS = {"prov", "ruleExec"}
+
+
+def _function_names(term: Term) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(term, FunctionCall):
+        names.add(term.name)
+        for arg in term.args:
+            names |= _function_names(arg)
+    elif hasattr(term, "left"):
+        names |= _function_names(term.left)  # type: ignore[attr-defined]
+        names |= _function_names(term.right)  # type: ignore[attr-defined]
+    return names
+
+
+def _check_location_specifier(atom: Atom, rule: Rule, role: str) -> Optional[str]:
+    """Validate the location specifier of one atom; return a warning or None."""
+    if atom.location_index is None:
+        if atom.relation in PROVENANCE_RELATIONS:
+            return None
+        raise NDlogValidationError(
+            f"rule {rule.name!r}: {role} atom {atom} has no location specifier (@)"
+        )
+    term = atom.location_term
+    if not isinstance(term, Variable):
+        # Constant locations are legal (tuples pinned to a node) but unusual.
+        return f"rule {rule.name!r}: {role} atom {atom} uses a constant location"
+    return None
+
+
+def validate_rule(
+    rule: Rule, registry: Optional[FunctionRegistry] = None
+) -> List[str]:
+    """Validate a single rule; return warnings, raise on hard errors."""
+    registry = registry or default_registry()
+    warnings: List[str] = []
+
+    if not rule.literals and not rule.is_maybe:
+        raise NDlogValidationError(f"rule {rule.name!r} has no body atoms")
+
+    # Location specifiers -----------------------------------------------------
+    warning = _check_location_specifier(rule.head, rule, "head")
+    if warning:
+        warnings.append(warning)
+    for literal in rule.literals:
+        warning = _check_location_specifier(literal.atom, rule, "body")
+        if warning:
+            warnings.append(warning)
+
+    # Aggregates --------------------------------------------------------------
+    aggregates = [t for t in rule.head.terms if isinstance(t, Aggregate)]
+    if len(aggregates) > 1:
+        raise NDlogValidationError(
+            f"rule {rule.name!r} has {len(aggregates)} aggregates in its head; at most one is allowed"
+        )
+    for aggregate in aggregates:
+        if aggregate.func not in Aggregate.SUPPORTED:
+            raise NDlogValidationError(
+                f"rule {rule.name!r}: unsupported aggregate function {aggregate.func!r}"
+            )
+    for literal in rule.literals:
+        for term in literal.atom.terms:
+            if isinstance(term, Aggregate):
+                raise NDlogValidationError(
+                    f"rule {rule.name!r}: aggregate {term} may only appear in the head"
+                )
+
+    # Safety ------------------------------------------------------------------
+    bound: Set[str] = set()
+    for literal in rule.positive_literals:
+        bound |= literal.atom.variables()
+
+    for element in rule.body:
+        if isinstance(element, Assignment):
+            unbound = element.expression.variables() - bound
+            if unbound:
+                raise NDlogValidationError(
+                    f"rule {rule.name!r}: assignment {element} uses unbound variables "
+                    f"{sorted(unbound)}"
+                )
+            bound.add(element.variable)
+
+    for element in rule.body:
+        if isinstance(element, Condition):
+            unbound = element.variables() - bound
+            if unbound and not rule.is_maybe:
+                raise NDlogValidationError(
+                    f"rule {rule.name!r}: condition {element} uses unbound variables "
+                    f"{sorted(unbound)}"
+                )
+        elif isinstance(element, Literal) and element.negated:
+            unbound = element.variables() - bound
+            if unbound:
+                raise NDlogValidationError(
+                    f"rule {rule.name!r}: negated atom {element} uses unbound variables "
+                    f"{sorted(unbound)}"
+                )
+
+    head_vars = {
+        name
+        for term in rule.head.terms
+        if not isinstance(term, Aggregate)
+        for name in term.variables()
+    }
+    unbound_head = head_vars - bound
+    if unbound_head and not rule.is_maybe:
+        raise NDlogValidationError(
+            f"rule {rule.name!r}: head variables {sorted(unbound_head)} are not bound in the body"
+        )
+    if unbound_head and rule.is_maybe:
+        # "maybe" rules may mention output attributes that are only observed,
+        # never computed (the legacy application decides them internally).
+        warnings.append(
+            f"rule {rule.name!r}: maybe-rule head variables {sorted(unbound_head)} "
+            "are bound only by observation"
+        )
+
+    # Builtin functions --------------------------------------------------------
+    referenced: Set[str] = set()
+    for element in rule.body:
+        if isinstance(element, (Condition, Assignment)):
+            referenced |= _function_names(element.expression)
+        elif isinstance(element, Literal):
+            for term in element.atom.terms:
+                referenced |= _function_names(term)
+    for term in rule.head.terms:
+        referenced |= _function_names(term)
+    for name in sorted(referenced):
+        if not registry.registered(name):
+            raise NDlogValidationError(
+                f"rule {rule.name!r} calls unknown builtin function {name!r}"
+            )
+
+    return warnings
+
+
+def validate_program(
+    program: Program, registry: Optional[FunctionRegistry] = None
+) -> List[str]:
+    """Validate *program*; return accumulated warnings, raise on the first error."""
+    registry = registry or default_registry()
+    warnings: List[str] = []
+
+    if not program.rules:
+        raise NDlogValidationError(f"program {program.name!r} has no rules")
+
+    names: Set[str] = set()
+    for rule in program.rules:
+        if rule.name in names:
+            raise NDlogValidationError(
+                f"program {program.name!r} has duplicate rule name {rule.name!r}"
+            )
+        names.add(rule.name)
+        warnings.extend(validate_rule(rule, registry))
+
+    # Consistent arities per relation ------------------------------------------
+    arities = {}
+    for rule in program.rules:
+        atoms = [rule.head] + [lit.atom for lit in rule.literals]
+        for atom in atoms:
+            previous = arities.get(atom.relation)
+            if previous is None:
+                arities[atom.relation] = atom.arity
+            elif previous != atom.arity:
+                raise NDlogValidationError(
+                    f"relation {atom.relation!r} used with inconsistent arities "
+                    f"({previous} and {atom.arity})"
+                )
+
+    # Stratification ------------------------------------------------------------
+    try:
+        program.strata()
+    except ValueError as exc:
+        raise NDlogValidationError(str(exc)) from exc
+
+    # Localizability: run the rewrite and surface its errors as validation errors.
+    from repro.ndlog.localization import localize_rule  # local import avoids a cycle
+
+    for rule in program.rules:
+        if not rule.is_local():
+            try:
+                localize_rule(rule)
+            except NDlogValidationError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise NDlogValidationError(
+                    f"rule {rule.name!r} cannot be localized: {exc}"
+                ) from exc
+
+    return warnings

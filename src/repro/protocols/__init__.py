@@ -1,0 +1,28 @@
+"""Declarative network protocols shipped with the reproduction.
+
+Each module exposes the NDlog source text (``SOURCE``), a ``program()``
+constructor returning the parsed :class:`~repro.ndlog.ast.Program`, and a
+``reference(topology)`` helper computing the protocol's expected final state
+with a conventional (imperative) algorithm, which tests and benchmarks use as
+ground truth.
+
+Protocols included (the ones named in the paper's demonstration plan):
+
+* :mod:`repro.protocols.mincost` — MINCOST, pair-wise minimal path costs;
+* :mod:`repro.protocols.path_vector` — path-vector routing with loop avoidance;
+* :mod:`repro.protocols.distance_vector` — distance-vector (hop count) routing;
+* :mod:`repro.protocols.dsr` — dynamic source routing (on-demand route discovery).
+"""
+
+from repro.protocols import distance_vector, dsr, mincost, path_vector
+from repro.protocols.library import PROTOCOLS, protocol_names, protocol_program
+
+__all__ = [
+    "mincost",
+    "path_vector",
+    "distance_vector",
+    "dsr",
+    "PROTOCOLS",
+    "protocol_names",
+    "protocol_program",
+]

@@ -1,0 +1,68 @@
+"""Distance-vector routing (hop count with a TTL bound).
+
+A compact distance-vector protocol: every node learns the minimal hop count
+to every destination, propagating only its current best estimate to its
+neighbours, with a hop-count bound playing the role of RIP's "infinity".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ndlog.ast import Program
+from repro.ndlog.parser import parse_program
+from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.topology import Topology
+
+#: Hop-count bound (RIP uses 16 as "infinity").
+MAX_HOPS = 16
+
+SOURCE = f"""
+materialize(link, infinity, infinity, keys(1, 2)).
+
+dv1 hop(@S, D, H) :- link(@S, D, C), H := 1.
+
+dv2 hop(@S, D, H) :- link(@S, Z, C), bestHop(@Z, D, H2),
+    S != D, H := H2 + 1, H < {MAX_HOPS}.
+
+dv3 bestHop(@S, D, min<H>) :- hop(@S, D, H).
+"""
+
+
+def program(name: str = "distance_vector") -> Program:
+    """The parsed distance-vector program."""
+    return parse_program(SOURCE, name=name)
+
+
+def setup(topology: Topology, provenance: bool = True, run: bool = True) -> NetTrailsRuntime:
+    """Build a runtime executing distance-vector routing over *topology*."""
+    runtime = NetTrailsRuntime(program(), topology, provenance=provenance)
+    runtime.seed_links(run=run)
+    return runtime
+
+
+def reference_hops(topology: Topology) -> Dict[Tuple[str, str], int]:
+    """Expected ``bestHop`` contents: minimal hop counts (BFS per source)."""
+    result: Dict[Tuple[str, str], int] = {}
+    for source in topology.nodes:
+        frontier = [source]
+        distance = {source: 0}
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in topology.neighbors(node):
+                    if neighbor not in distance:
+                        distance[neighbor] = distance[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        for target, hops in distance.items():
+            if target != source and hops < MAX_HOPS:
+                result[(source, target)] = hops
+    return result
+
+
+def check_against_reference(runtime: NetTrailsRuntime, topology: Topology) -> bool:
+    """True when the distributed fixpoint matches the BFS reference."""
+    expected = reference_hops(topology)
+    actual = {(s, d): h for (s, d, h) in runtime.state("bestHop")}
+    return actual == expected

@@ -1,0 +1,50 @@
+"""Protocol library: registry and conciseness metrics.
+
+The paper (§2.1) repeats the declarative-networking claim that protocols can
+be "specified and implemented in NDlog in orders of magnitude less lines of
+code than imperative implementations".  This module exposes the protocol
+registry plus helpers that count NDlog rules / lines, which the conciseness
+benchmark (experiment E8 in DESIGN.md) compares against imperative baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ndlog.ast import Program
+from repro.protocols import distance_vector, dsr, mincost, path_vector
+
+#: Protocol name -> module.  Every module exposes SOURCE / program() / setup().
+PROTOCOLS = {
+    "mincost": mincost,
+    "path_vector": path_vector,
+    "distance_vector": distance_vector,
+    "dsr": dsr,
+}
+
+
+def protocol_names() -> List[str]:
+    return sorted(PROTOCOLS)
+
+
+def protocol_program(name: str) -> Program:
+    """Return the parsed program of a registered protocol."""
+    if name not in PROTOCOLS:
+        raise KeyError(f"unknown protocol {name!r}; known protocols: {protocol_names()}")
+    return PROTOCOLS[name].program()
+
+
+def ndlog_rule_count(name: str) -> int:
+    """The number of NDlog rules in a protocol's specification."""
+    return len(protocol_program(name).rules)
+
+
+def ndlog_line_count(name: str) -> int:
+    """Non-empty, non-comment source lines of a protocol's NDlog specification."""
+    source = PROTOCOLS[name].SOURCE
+    lines = [
+        line
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith(("//", "#", "%%"))
+    ]
+    return len(lines)

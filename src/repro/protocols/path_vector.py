@@ -1,0 +1,62 @@
+"""Path-vector routing.
+
+Every node advertises, for each destination, the best path it knows together
+with the full node list of that path; a neighbour only extends a path it is
+not already part of (loop avoidance), exactly like BGP's AS-path mechanism.
+This is the second protocol named in the paper's declarative-networks use
+case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ndlog.ast import Program
+from repro.ndlog.parser import parse_program
+from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.topology import Topology
+
+SOURCE = """
+materialize(link, infinity, infinity, keys(1, 2)).
+
+pv1 path(@S, D, P, C) :- link(@S, D, C), P := f_makeList(S, D).
+
+pv2 path(@S, D, P, C) :- link(@S, Z, C1), bestPath(@Z, D, P2, C2),
+    f_member(P2, S) == 0, C := C1 + C2, P := f_prepend(S, P2).
+
+pv3 bestPathCost(@S, D, min<C>) :- path(@S, D, P, C).
+
+pv4 bestPath(@S, D, P, C) :- bestPathCost(@S, D, C), path(@S, D, P, C).
+"""
+
+
+def program(name: str = "path_vector") -> Program:
+    """The parsed path-vector program."""
+    return parse_program(SOURCE, name=name)
+
+
+def setup(topology: Topology, provenance: bool = True, run: bool = True) -> NetTrailsRuntime:
+    """Build a runtime executing path-vector routing over *topology*."""
+    runtime = NetTrailsRuntime(program(), topology, provenance=provenance)
+    runtime.seed_links(run=run)
+    return runtime
+
+
+def reference_costs(topology: Topology) -> Dict[Tuple[str, str], float]:
+    """Expected ``bestPathCost`` contents (all-pairs shortest path costs)."""
+    return topology.shortest_path_costs()
+
+
+def best_paths(runtime: NetTrailsRuntime) -> Dict[Tuple[str, str], Tuple[str, ...]]:
+    """The currently selected best path per (source, destination) pair."""
+    result: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    for source, destination, path, _cost in runtime.state("bestPath"):
+        result[(source, destination)] = tuple(path)
+    return result
+
+
+def check_against_reference(runtime: NetTrailsRuntime, topology: Topology) -> bool:
+    """True when selected best-path costs match the offline shortest-path costs."""
+    expected = reference_costs(topology)
+    actual = {(s, d): c for (s, d, c) in runtime.state("bestPathCost")}
+    return actual == expected

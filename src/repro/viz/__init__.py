@@ -1,0 +1,36 @@
+"""Visualization substitutes for the RapidNet and provenance visualizers.
+
+The demonstration uses two GUIs: the RapidNet topology visualizer and a
+hypertree-based provenance visualizer (provenance rendered on a hyperbolic
+plane, with focus changes and smooth transitions).  This package provides the
+non-interactive equivalents:
+
+* :mod:`repro.viz.hypertree` — the hyperbolic (Poincaré-disk) layout
+  algorithm used by hypertree viewers, including the Möbius-transform
+  re-focusing that underlies "changing focus with smooth transitions";
+* :mod:`repro.viz.provenance_viz` — Graphviz DOT / JSON / ASCII renderings of
+  provenance graphs, including the three Figure-2 zoom levels (system-wide
+  snapshot, per-relation view, single-tuple close-up);
+* :mod:`repro.viz.topology_viz` — DOT / ASCII renderings of the network
+  topology with per-link statistics.
+"""
+
+from repro.viz.hypertree import HypertreeLayout, refocus
+from repro.viz.provenance_viz import (
+    exploration_views,
+    provenance_to_dot,
+    provenance_to_json,
+    render_ascii_tree,
+)
+from repro.viz.topology_viz import topology_summary, topology_to_dot
+
+__all__ = [
+    "HypertreeLayout",
+    "refocus",
+    "exploration_views",
+    "provenance_to_dot",
+    "provenance_to_json",
+    "render_ascii_tree",
+    "topology_summary",
+    "topology_to_dot",
+]

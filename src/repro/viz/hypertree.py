@@ -1,0 +1,177 @@
+"""Hyperbolic (hypertree) layout for provenance graphs.
+
+The provenance visualizer of the paper "is based on hypertrees": the
+provenance graph is presented on a hyperbolic plane, which gives the vertex
+in focus plenty of space while exponentially shrinking its far-away context,
+and users navigate by re-focusing.
+
+This module reproduces the geometry:
+
+* :class:`HypertreeLayout` assigns every vertex of a provenance DAG (treated
+  as a tree rooted at the queried tuple) a position inside the unit Poincaré
+  disk, recursively subdividing angular wedges and stepping a fixed
+  hyperbolic distance per tree level;
+* :func:`refocus` applies the Möbius transformation that moves an arbitrary
+  vertex to the centre of the disk — the mathematical core of "changing
+  focus with smooth transitions" (animating the transformation parameter
+  from 0 to 1 yields the smooth transition itself, see
+  :func:`transition_positions`).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VisualizationError
+from repro.core.graph import ProvenanceGraph
+
+
+@dataclass(frozen=True)
+class PlacedVertex:
+    """One vertex with its position in the unit disk."""
+
+    vertex_id: str
+    kind: str            # "tuple" or "rule-exec"
+    label: str
+    x: float
+    y: float
+    depth: int
+
+    @property
+    def radius(self) -> float:
+        return math.hypot(self.x, self.y)
+
+
+def _poincare_point(angle: float, hyperbolic_radius: float) -> complex:
+    """Convert polar hyperbolic coordinates to a point in the unit disk."""
+    euclidean_radius = math.tanh(hyperbolic_radius / 2.0)
+    return cmath.rect(euclidean_radius, angle)
+
+
+class HypertreeLayout:
+    """Layout of a provenance graph (rooted at a tuple vertex) on the Poincaré disk."""
+
+    def __init__(self, level_distance: float = 1.2):
+        if level_distance <= 0:
+            raise VisualizationError("level_distance must be positive")
+        self.level_distance = level_distance
+
+    def compute(self, graph: ProvenanceGraph, root_vid: str) -> Dict[str, PlacedVertex]:
+        """Compute positions for every vertex reachable from *root_vid*.
+
+        The DAG is unfolded as a tree: a vertex reachable through several
+        paths is placed where it is first visited.  The root sits at the
+        centre of the disk.
+        """
+        if not graph.has_tuple(root_vid):
+            raise VisualizationError(f"root vertex {root_vid!r} is not in the graph")
+        placed: Dict[str, PlacedVertex] = {}
+
+        def place_tuple(vid: str, angle_lo: float, angle_hi: float, depth: int) -> None:
+            if vid in placed:
+                return
+            vertex = graph.tuple_vertex(vid)
+            angle = (angle_lo + angle_hi) / 2.0
+            point = _poincare_point(angle, depth * self.level_distance) if depth else complex(0, 0)
+            placed[vid] = PlacedVertex(
+                vertex_id=vid,
+                kind="tuple",
+                label=vertex.label,
+                x=point.real,
+                y=point.imag,
+                depth=depth,
+            )
+            derivations = [d for d in graph.derivations_of(vid) if d.rid not in placed]
+            if not derivations:
+                return
+            span = (angle_hi - angle_lo) / len(derivations)
+            for index, derivation in enumerate(derivations):
+                lo = angle_lo + index * span
+                place_exec(derivation.rid, lo, lo + span, depth + 1)
+
+        def place_exec(rid: str, angle_lo: float, angle_hi: float, depth: int) -> None:
+            if rid in placed:
+                return
+            vertex = graph.rule_exec_vertex(rid)
+            angle = (angle_lo + angle_hi) / 2.0
+            point = _poincare_point(angle, depth * self.level_distance)
+            placed[rid] = PlacedVertex(
+                vertex_id=rid,
+                kind="rule-exec",
+                label=vertex.label,
+                x=point.real,
+                y=point.imag,
+                depth=depth,
+            )
+            children = [child.vid for child in graph.inputs_of(rid) if child.vid not in placed]
+            if not children:
+                return
+            span = (angle_hi - angle_lo) / len(children)
+            for index, child_vid in enumerate(children):
+                lo = angle_lo + index * span
+                place_tuple(child_vid, lo, lo + span, depth + 1)
+
+        place_tuple(root_vid, 0.0, 2.0 * math.pi, 0)
+        return placed
+
+
+def _mobius(point: complex, center: complex) -> complex:
+    """The Möbius transformation taking *center* to the origin of the disk."""
+    return (point - center) / (1 - center.conjugate() * point)
+
+
+def refocus(
+    positions: Dict[str, PlacedVertex], focus_id: str
+) -> Dict[str, PlacedVertex]:
+    """Re-centre the layout on *focus_id* (the hypertree "click to focus" action)."""
+    if focus_id not in positions:
+        raise VisualizationError(f"cannot focus on unknown vertex {focus_id!r}")
+    center = complex(positions[focus_id].x, positions[focus_id].y)
+    refocused: Dict[str, PlacedVertex] = {}
+    for vertex_id, placed in positions.items():
+        moved = _mobius(complex(placed.x, placed.y), center)
+        refocused[vertex_id] = PlacedVertex(
+            vertex_id=placed.vertex_id,
+            kind=placed.kind,
+            label=placed.label,
+            x=moved.real,
+            y=moved.imag,
+            depth=placed.depth,
+        )
+    return refocused
+
+
+def transition_positions(
+    positions: Dict[str, PlacedVertex], focus_id: str, steps: int = 5
+) -> List[Dict[str, PlacedVertex]]:
+    """Intermediate layouts for a smooth transition towards *focus_id*.
+
+    Returns ``steps`` layouts; the last one equals :func:`refocus`'s result.
+    Interpolating the Möbius parameter (rather than the positions) keeps every
+    intermediate frame inside the unit disk, which is what makes hypertree
+    transitions look smooth.
+    """
+    if steps < 1:
+        raise VisualizationError("steps must be at least 1")
+    if focus_id not in positions:
+        raise VisualizationError(f"cannot focus on unknown vertex {focus_id!r}")
+    target = complex(positions[focus_id].x, positions[focus_id].y)
+    frames: List[Dict[str, PlacedVertex]] = []
+    for step in range(1, steps + 1):
+        center = target * (step / steps)
+        frame: Dict[str, PlacedVertex] = {}
+        for vertex_id, placed in positions.items():
+            moved = _mobius(complex(placed.x, placed.y), center)
+            frame[vertex_id] = PlacedVertex(
+                vertex_id=placed.vertex_id,
+                kind=placed.kind,
+                label=placed.label,
+                x=moved.real,
+                y=moved.imag,
+                depth=placed.depth,
+            )
+        frames.append(frame)
+    return frames

@@ -1,0 +1,172 @@
+"""Renderings of provenance graphs: DOT, JSON, ASCII and the Figure-2 views.
+
+These functions replace the interactive provenance visualizer of the
+demonstration with deterministic text artefacts that tests can assert on and
+that users can feed to Graphviz or a browser-based viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import VisualizationError
+from repro.core.graph import ProvenanceGraph, TupleVertex
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def provenance_to_dot(graph: ProvenanceGraph, name: str = "provenance") -> str:
+    """Render a provenance graph in Graphviz DOT format.
+
+    Tuple vertices are boxes (double border for base tuples), rule-execution
+    vertices are ellipses; edges follow the dataflow direction, from input
+    tuples through rule executions to derived tuples.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for vertex in graph.tuple_vertices():
+        shape = "box"
+        peripheries = 2 if vertex.is_base else 1
+        lines.append(
+            f'  "{_dot_escape(vertex.vid)}" [shape={shape}, peripheries={peripheries}, '
+            f'label="{_dot_escape(vertex.label)}"];'
+        )
+    for vertex in graph.rule_exec_vertices():
+        lines.append(
+            f'  "{_dot_escape(vertex.rid)}" [shape=ellipse, style=filled, fillcolor=lightgrey, '
+            f'label="{_dot_escape(vertex.label)}"];'
+        )
+    for vertex in graph.rule_exec_vertices():
+        for child in graph.inputs_of(vertex.rid):
+            lines.append(f'  "{_dot_escape(child.vid)}" -> "{_dot_escape(vertex.rid)}";')
+        try:
+            output = graph.output_of(vertex.rid)
+        except Exception:  # pragma: no cover - defensive, output should exist
+            continue
+        lines.append(f'  "{_dot_escape(vertex.rid)}" -> "{_dot_escape(output.vid)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def provenance_to_json(graph: ProvenanceGraph) -> str:
+    """Render a provenance graph as a JSON document (vertices + edges)."""
+    payload: Dict[str, object] = {
+        "tuples": [
+            {
+                "vid": vertex.vid,
+                "relation": vertex.relation,
+                "values": list(vertex.values),
+                "location": str(vertex.location),
+                "is_base": vertex.is_base,
+            }
+            for vertex in graph.tuple_vertices()
+        ],
+        "rule_executions": [
+            {
+                "rid": vertex.rid,
+                "rule": vertex.rule_name,
+                "program": vertex.program_name,
+                "location": str(vertex.location),
+                "inputs": [child.vid for child in graph.inputs_of(vertex.rid)],
+                "output": graph.output_of(vertex.rid).vid,
+            }
+            for vertex in graph.rule_exec_vertices()
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, default=list)
+
+
+def render_ascii_tree(
+    graph: ProvenanceGraph, root_vid: str, max_depth: Optional[int] = None
+) -> str:
+    """Render the derivation tree of one tuple as indented ASCII text.
+
+    This is the textual counterpart of zooming into a single tuple in the
+    hypertree visualizer: every level shows either a tuple (with its
+    attribute values and location) or a rule execution.
+    """
+    if not graph.has_tuple(root_vid):
+        raise VisualizationError(f"unknown tuple vertex {root_vid!r}")
+    lines: List[str] = []
+    seen: set = set()
+
+    def visit_tuple(vid: str, prefix: str, depth: int) -> None:
+        vertex = graph.tuple_vertex(vid)
+        marker = "[base] " if vertex.is_base else ""
+        lines.append(f"{prefix}{marker}{vertex.label}")
+        if max_depth is not None and depth >= max_depth:
+            return
+        if vid in seen:
+            lines.append(f"{prefix}  (shared sub-derivation, shown above)")
+            return
+        seen.add(vid)
+        for derivation in graph.derivations_of(vid):
+            lines.append(f"{prefix}  <- {derivation.rule_name} @ {derivation.location}")
+            for child in graph.inputs_of(derivation.rid):
+                visit_tuple(child.vid, prefix + "     ", depth + 1)
+
+    visit_tuple(root_vid, "", 0)
+    return "\n".join(lines)
+
+
+def exploration_views(
+    graph: ProvenanceGraph, relation: str, values: Sequence[object]
+) -> Dict[str, str]:
+    """The three zoom levels of Figure 2 as text views.
+
+    * ``snapshot`` — the system-wide provenance snapshot: how many tuple /
+      rule-execution vertices exist, per relation and per node (Figure 2a);
+    * ``table`` — all tuples of the selected relation with their locations
+      (Figure 2b);
+    * ``tuple`` — the close-up of one tuple instance: its attribute values,
+      its location and its derivations (Figure 2c).
+    """
+    # -- snapshot view -------------------------------------------------------------
+    per_relation: Dict[str, int] = {}
+    per_location: Dict[str, int] = {}
+    for vertex in graph.tuple_vertices():
+        per_relation[vertex.relation] = per_relation.get(vertex.relation, 0) + 1
+        per_location[str(vertex.location)] = per_location.get(str(vertex.location), 0) + 1
+    snapshot_lines = [
+        "System-wide provenance snapshot",
+        f"  tuple vertices:          {graph.tuple_count}",
+        f"  rule-execution vertices: {graph.rule_exec_count}",
+        "  tuples per relation:",
+    ]
+    for name in sorted(per_relation):
+        snapshot_lines.append(f"    {name}: {per_relation[name]}")
+    snapshot_lines.append("  tuples per node:")
+    for name in sorted(per_location):
+        snapshot_lines.append(f"    {name}: {per_location[name]}")
+
+    # -- table view -----------------------------------------------------------------
+    rows = [vertex for vertex in graph.tuple_vertices() if vertex.relation == relation]
+    table_lines = [f"Relation {relation} ({len(rows)} tuples)"]
+    for vertex in sorted(rows, key=lambda v: repr(v.values)):
+        table_lines.append(f"  {vertex.label}")
+
+    # -- tuple close-up ----------------------------------------------------------------
+    matches = graph.find_tuples(relation, tuple(values))
+    if not matches:
+        raise VisualizationError(
+            f"tuple {relation}({', '.join(map(str, values))}) is not in the provenance graph"
+        )
+    target = matches[0]
+    tuple_lines = [
+        f"Tuple {target.relation}",
+        f"  attributes: {list(target.values)}",
+        f"  location:   {target.location}",
+        f"  base tuple: {'yes' if target.is_base else 'no'}",
+        f"  derivations ({len(graph.derivations_of(target.vid))}):",
+    ]
+    for derivation in graph.derivations_of(target.vid):
+        inputs = ", ".join(child.label for child in graph.inputs_of(derivation.rid))
+        tuple_lines.append(f"    {derivation.rule_name} @ {derivation.location} <- [{inputs}]")
+
+    return {
+        "snapshot": "\n".join(snapshot_lines),
+        "table": "\n".join(table_lines),
+        "tuple": "\n".join(tuple_lines),
+    }

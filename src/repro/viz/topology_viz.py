@@ -1,0 +1,42 @@
+"""Renderings of the network topology (the RapidNet visualizer substitute)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.topology import Topology
+
+
+def topology_to_dot(topology: Topology, name: Optional[str] = None) -> str:
+    """Render a topology in Graphviz DOT format (undirected, costs as labels)."""
+    graph_name = (name or topology.name).replace("-", "_").replace(".", "_")
+    lines = [f"graph {graph_name} {{", "  layout=neato;"]
+    for node in sorted(topology.nodes):
+        lines.append(f'  "{node}" [shape=circle];')
+    for (a, b), cost in sorted(topology.edges.items()):
+        lines.append(f'  "{a}" -- "{b}" [label="{cost:g}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def topology_summary(topology: Topology, traffic: Optional[Dict[str, object]] = None) -> str:
+    """A textual summary of the topology and (optionally) traffic statistics."""
+    degrees = {node: len(topology.neighbors(node)) for node in topology.nodes}
+    lines = [
+        f"Topology {topology.name}",
+        f"  nodes: {topology.node_count()}",
+        f"  links: {topology.edge_count()}",
+        f"  connected: {'yes' if topology.is_connected() else 'no'}",
+    ]
+    if degrees:
+        average = sum(degrees.values()) / len(degrees)
+        busiest = max(sorted(degrees), key=lambda node: degrees[node])
+        lines.append(f"  average degree: {average:.2f}")
+        lines.append(f"  highest-degree node: {busiest} ({degrees[busiest]} links)")
+    if traffic:
+        lines.append("  traffic:")
+        lines.append(f"    messages: {traffic.get('messages', 0)}")
+        lines.append(f"    bytes:    {traffic.get('bytes', 0)}")
+        for category, count in sorted(dict(traffic.get("by_category", {})).items()):
+            lines.append(f"    {category}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Tests for the diagnostic tasks: root cause, cascading effects, participants."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.analysis import (
+    cascading_effects,
+    explain_derivation,
+    impact_of_link_failure,
+    participant_contributions,
+    participating_nodes,
+    root_causes,
+)
+from repro.engine import topology
+from repro.protocols import mincost, path_vector
+
+
+@pytest.fixture
+def graph(mincost_ring):
+    return mincost_ring.provenance.build_graph()
+
+
+class TestRootCause:
+    def test_root_causes_are_the_underlying_links(self, graph):
+        causes = root_causes(graph, "minCost", ["n0", "n2", 2.0])
+        assert {(v.relation,) + v.values for v in causes} == {
+            ("link", "n0", "n1", 1.0),
+            ("link", "n1", "n2", 1.0),
+        }
+
+    def test_root_cause_of_base_tuple_is_itself(self, graph):
+        causes = root_causes(graph, "link", ["n0", "n1", 1.0])
+        assert len(causes) == 1 and causes[0].is_base
+
+    def test_unknown_tuple_rejected(self, graph):
+        with pytest.raises(ProvenanceError):
+            root_causes(graph, "minCost", ["n0", "n2", 42.0])
+
+    def test_explanation_mentions_rules_and_root_causes(self, graph):
+        text = explain_derivation(graph, "minCost", ["n0", "n2", 2.0])
+        assert "derived by rule mc3" in text
+        assert "root cause" in text
+        assert "link(n0, n1, 1.0)@n0" in text
+
+    def test_explanation_depth_limit(self, graph):
+        shallow = explain_derivation(graph, "minCost", ["n0", "n2", 2.0], max_depth=1)
+        full = explain_derivation(graph, "minCost", ["n0", "n2", 2.0])
+        assert len(shallow.splitlines()) < len(full.splitlines())
+
+
+class TestCascade:
+    def test_potential_effects_of_a_link(self, graph):
+        affected = cascading_effects(graph, "link", ["n0", "n1", 1.0])
+        relations = {vertex.relation for vertex in affected}
+        assert "minCost" in relations and "path" in relations
+        # the link n0->n1 contributes to minCost(n0, n1)
+        assert any(
+            vertex.relation == "minCost" and vertex.values == ("n0", "n1", 1.0)
+            for vertex in affected
+        )
+
+    def test_unknown_tuple_rejected(self, graph):
+        with pytest.raises(ProvenanceError):
+            cascading_effects(graph, "link", ["n0", "n9", 1.0])
+
+    def test_actual_impact_of_link_failure(self, ring5):
+        runtime = mincost.setup(ring5)
+        impact = impact_of_link_failure(runtime, "n0", "n1")
+        assert impact.removed_count() > 0
+        assert impact.added_count() > 0  # replacement (longer) paths appear
+        assert "minCost" in impact.removed_tuples or "minCost" in impact.added_tuples
+        assert impact.restored
+        # restoring the link brings the original state back
+        assert mincost.check_against_reference(runtime, ring5)
+        assert "minCost" in impact.summary()
+
+    def test_impact_without_restore(self, line4):
+        runtime = path_vector.setup(line4)
+        impact = impact_of_link_failure(runtime, "n1", "n2", restore=False)
+        assert not impact.restored
+        assert not runtime.topology.has_edge("n1", "n2")
+
+    def test_impact_of_missing_link_rejected(self, mincost_ring):
+        with pytest.raises(ProvenanceError):
+            impact_of_link_failure(mincost_ring, "n0", "n2")
+
+
+class TestParticipants:
+    def test_participants_match_distributed_query(self, mincost_ring, graph):
+        from repro.core.query import DistributedQueryEngine
+
+        queries = DistributedQueryEngine(mincost_ring)
+        offline = participating_nodes(graph, "minCost", ["n0", "n2", 2.0])
+        online = queries.participants("minCost", ["n0", "n2", 2.0]).value
+        assert offline == set(online)
+
+    def test_contributions_cover_participants(self, graph):
+        contributions = participant_contributions(graph, "minCost", ["n0", "n2", 2.0])
+        assert set(contributions) == participating_nodes(graph, "minCost", ["n0", "n2", 2.0])
+        assert all(entry["tuples"] > 0 for entry in contributions.values())
+        assert sum(entry["rule_executions"] for entry in contributions.values()) > 0

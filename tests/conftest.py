@@ -1,0 +1,38 @@
+"""Shared fixtures for the NetTrails reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import mincost, path_vector
+
+
+@pytest.fixture
+def ring5():
+    """A 5-node ring with unit link costs."""
+    return topology.ring(5)
+
+
+@pytest.fixture
+def line4():
+    """A 4-node chain with unit link costs."""
+    return topology.line(4)
+
+
+@pytest.fixture
+def small_random():
+    """A deterministic 8-node random connected topology."""
+    return topology.random_connected(8, edge_probability=0.3, seed=7)
+
+
+@pytest.fixture
+def mincost_ring(ring5):
+    """A converged MINCOST runtime over the 5-node ring (provenance enabled)."""
+    return mincost.setup(ring5)
+
+
+@pytest.fixture
+def pathvector_line(line4):
+    """A converged path-vector runtime over the 4-node chain."""
+    return path_vector.setup(line4)

@@ -1,0 +1,38 @@
+"""Tests for content-addressed provenance identifiers."""
+
+from repro.core.keys import BASE_RID, rid_for, vid_for, vid_for_values
+from repro.engine.tuples import Fact
+
+
+class TestVids:
+    def test_vid_is_deterministic(self):
+        fact = Fact.make("link", ["n0", "n1", 1])
+        assert vid_for(fact) == vid_for(Fact.make("link", ["n0", "n1", 1]))
+
+    def test_vid_distinguishes_values_and_relations(self):
+        assert vid_for(Fact.make("link", ["n0", "n1", 1])) != vid_for(Fact.make("link", ["n0", "n1", 2]))
+        assert vid_for(Fact.make("link", ["n0", "n1", 1])) != vid_for(Fact.make("edge", ["n0", "n1", 1]))
+
+    def test_vid_for_values_matches_vid_for(self):
+        fact = Fact.make("path", ["n0", "n2", (1, 2)])
+        assert vid_for_values("path", ["n0", "n2", (1, 2)]) == vid_for(fact)
+
+    def test_vid_prefix(self):
+        assert vid_for(Fact.make("x", [1])).startswith("vid_")
+
+
+class TestRids:
+    def test_rid_is_deterministic(self):
+        assert rid_for("r1", "n0", ["vid_a", "vid_b"]) == rid_for("r1", "n0", ["vid_a", "vid_b"])
+
+    def test_rid_depends_on_rule_node_and_children(self):
+        base = rid_for("r1", "n0", ["vid_a"])
+        assert base != rid_for("r2", "n0", ["vid_a"])
+        assert base != rid_for("r1", "n1", ["vid_a"])
+        assert base != rid_for("r1", "n0", ["vid_b"])
+
+    def test_rid_depends_on_child_order(self):
+        assert rid_for("r1", "n0", ["a", "b"]) != rid_for("r1", "n0", ["b", "a"])
+
+    def test_base_marker_is_not_a_hash(self):
+        assert BASE_RID == "BASE"

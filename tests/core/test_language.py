@@ -1,0 +1,124 @@
+"""Tests for the textual provenance query language (ProQL-inspired extension)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.language import WILDCARD, ParsedQuery, QueryLanguage, parse_query
+from repro.core.optimizations import TRAVERSAL_SEQUENTIAL
+from repro.core.queries import CustomQuery
+from repro.core.query import DistributedQueryEngine
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        parsed = parse_query('LINEAGE OF minCost("n0", "n2", 2.0)')
+        assert parsed.mode == "lineage"
+        assert parsed.relation == "minCost"
+        assert parsed.pattern == ("n0", "n2", 2.0)
+        assert parsed.is_ground()
+
+    def test_keywords_are_case_insensitive(self):
+        parsed = parse_query('count of minCost("n0", "n1", 1.0)')
+        assert parsed.mode == "count"
+
+    def test_wildcards(self):
+        parsed = parse_query('PARTICIPANTS OF minCost("n0", *, *)')
+        assert parsed.pattern[0] == "n0"
+        assert parsed.pattern[1] is WILDCARD
+        assert not parsed.is_ground()
+        assert parsed.matches(("n0", "n3", 2.0))
+        assert not parsed.matches(("n1", "n3", 2.0))
+
+    def test_bare_identifiers_become_strings(self):
+        parsed = parse_query("LINEAGE OF routeEntry(as109, somePrefix, *)")
+        assert parsed.pattern[:2] == ("as109", "somePrefix")
+
+    def test_option_clauses(self):
+        parsed = parse_query(
+            'LINEAGE OF minCost("n0", "n2", 2.0) WITH CACHE SEQUENTIAL THRESHOLD 5 DEPTH 3 FROM "n4"'
+        )
+        assert parsed.options.use_cache
+        assert parsed.options.traversal == TRAVERSAL_SEQUENTIAL
+        assert parsed.options.threshold == 5
+        assert parsed.options.max_depth == 3
+        assert parsed.issued_at == "n4"
+
+    def test_custom_mode_name_is_preserved(self):
+        parsed = parse_query('depth OF minCost("n0", "n2", 2.0)')
+        assert parsed.mode == "depth"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "LINEAGE minCost(1)",
+            "LINEAGE OF",
+            "LINEAGE OF minCost(1,)",
+            "LINEAGE OF minCost(1) THRESHOLD zero",
+            "LINEAGE OF minCost(1) WITH SPEED",
+            "LINEAGE OF minCost(1) NONSENSE",
+            "LINEAGE OF minCost(1) THRESHOLD 0",
+        ],
+    )
+    def test_malformed_queries_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestExecution:
+    @pytest.fixture
+    def language(self, mincost_ring):
+        return mincost_ring, QueryLanguage(DistributedQueryEngine(mincost_ring))
+
+    def test_ground_query_matches_python_api(self, language):
+        runtime, lang = language
+        engine = lang.engine
+        text_result = lang.run_one('LINEAGE OF minCost("n0", "n2", 2.0)')
+        api_result = engine.lineage("minCost", ["n0", "n2", 2.0])
+        assert text_result.value == api_result.value
+
+    def test_wildcard_query_returns_one_result_per_match(self, language):
+        runtime, lang = language
+        results = lang.run('COUNT OF minCost("n0", *, *)')
+        assert len(results) == len([r for r in runtime.state("minCost") if r[0] == "n0"])
+        assert all(result.mode == "count" for result in results)
+
+    def test_options_are_applied(self, language):
+        _runtime, lang = language
+        first = lang.run_one('LINEAGE OF minCost("n0", "n2", 2.0) WITH CACHE')
+        second = lang.run_one('LINEAGE OF minCost("n0", "n2", 2.0) WITH CACHE')
+        assert second.stats.messages == 0
+        assert second.value == first.value
+
+    def test_from_clause_issues_query_remotely(self, language):
+        _runtime, lang = language
+        remote = lang.run_one('LINEAGE OF minCost("n0", "n1", 1.0) FROM "n3"')
+        assert remote.stats.messages >= 2
+
+    def test_unknown_mode_rejected(self, language):
+        _runtime, lang = language
+        with pytest.raises(QueryError):
+            lang.run('EXPLODE OF minCost("n0", "n2", 2.0)')
+
+    def test_custom_reducer_usable_from_text(self, language):
+        _runtime, lang = language
+        lang.engine.register_query(
+            CustomQuery(
+                name="depth",
+                on_base=lambda ref: 0,
+                on_exec=lambda ref, children: 1 + max(children, default=0),
+                on_tuple=lambda ref, derivations: max(derivations, default=0),
+            )
+        )
+        result = lang.run_one('depth OF minCost("n0", "n2", 2.0)')
+        assert result.value >= 2
+
+    def test_no_match_rejected(self, language):
+        _runtime, lang = language
+        with pytest.raises(QueryError):
+            lang.run('LINEAGE OF minCost("n0", "n0", *)')
+
+    def test_run_one_rejects_multi_match(self, language):
+        _runtime, lang = language
+        with pytest.raises(QueryError):
+            lang.run_one('LINEAGE OF minCost("n0", *, *)')

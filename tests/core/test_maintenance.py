@@ -1,0 +1,122 @@
+"""Tests for the ExSPAN provenance maintenance engine."""
+
+import pytest
+
+from repro.core.keys import BASE_RID, vid_for
+from repro.core.maintenance import ProvenanceEngine
+from repro.engine import topology
+from repro.engine.tuples import Fact
+from repro.protocols import mincost, path_vector
+
+
+@pytest.fixture
+def ring_runtime(ring5):
+    return mincost.setup(ring5)
+
+
+class TestTableMaintenance:
+    def test_prov_and_rule_exec_tables_populated(self, ring_runtime):
+        sizes = ring_runtime.provenance.table_sizes()
+        assert sizes["prov"] > 0
+        assert sizes["ruleExec"] > 0
+
+    def test_every_stored_fact_has_a_prov_entry(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        for node_id, node in ring_runtime.nodes.items():
+            store = provenance.store(node_id)
+            for fact in node.store.all_facts():
+                assert store.prov_entries(vid_for(fact)), f"missing prov for {fact}"
+
+    def test_prov_entry_count_matches_derivation_count(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        for node_id, node in ring_runtime.nodes.items():
+            store = provenance.store(node_id)
+            for fact in node.store.all_facts():
+                assert len(store.prov_entries(vid_for(fact))) == node.store.derivation_count(fact)
+
+    def test_base_tuples_marked_with_base_rid(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        store = provenance.store("n0")
+        link_vid = vid_for(Fact.make("link", ["n0", "n1", 1.0]))
+        entries = store.prov_entries(link_vid)
+        assert len(entries) == 1
+        assert entries[0].rid == BASE_RID
+
+    def test_rule_exec_children_are_local_tuples(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        for node_id in ring_runtime.node_ids():
+            store = provenance.store(node_id)
+            for _loc, rid, _rule, _prog, child_vids in store.rule_exec_table():
+                for child in child_vids:
+                    assert store.knows_tuple(child)
+
+    def test_prov_entries_point_to_existing_rule_execs(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        for node_id in ring_runtime.node_ids():
+            for _loc, _vid, rid, rloc in provenance.store(node_id).prov_table():
+                if rid == BASE_RID:
+                    continue
+                assert provenance.store(rloc).has_rule_exec(rid)
+
+    def test_tables_shrink_after_deletions(self, ring_runtime, ring5):
+        before = ring_runtime.provenance.table_sizes()
+        ring_runtime.remove_link("n0", "n1")
+        ring_runtime.run_to_quiescence()
+        after = ring_runtime.provenance.table_sizes()
+        assert after["prov"] < before["prov"]
+        assert after["ruleExec"] < before["ruleExec"]
+
+    def test_tables_restored_after_reinsertion(self, ring_runtime):
+        before = ring_runtime.provenance.table_sizes()
+        ring_runtime.remove_link("n0", "n1")
+        ring_runtime.run_to_quiescence()
+        ring_runtime.add_link("n0", "n1", 1.0)
+        ring_runtime.run_to_quiescence()
+        assert ring_runtime.provenance.table_sizes() == before
+
+    def test_per_node_sizes_sum_to_totals(self, ring_runtime):
+        per_node = ring_runtime.provenance.per_node_sizes()
+        totals = ring_runtime.provenance.table_sizes()
+        assert sum(entry["prov"] for entry in per_node.values()) == totals["prov"]
+        assert sum(entry["ruleExec"] for entry in per_node.values()) == totals["ruleExec"]
+
+
+class TestGraphAssembly:
+    def test_build_graph_covers_all_stored_tuples(self, ring_runtime):
+        graph = ring_runtime.provenance.build_graph()
+        assert graph.tuple_count >= ring_runtime.total_facts()
+        assert graph.rule_exec_count == ring_runtime.provenance.table_sizes()["ruleExec"]
+
+    def test_graph_lineage_matches_expectation(self, ring_runtime):
+        graph = ring_runtime.provenance.build_graph()
+        # minCost(n0 -> n2) = 2 goes through n1, so its lineage is exactly the
+        # two links n0->n1 and n1->n2.
+        target = graph.find_tuples("minCost", ("n0", "n2", 2.0))[0]
+        lineage = {(v.relation,) + v.values for v in graph.base_tuples_of(target.vid)}
+        assert lineage == {("link", "n0", "n1", 1.0), ("link", "n1", "n2", 1.0)}
+
+    def test_resolve_tuple(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        fact = Fact.make("link", ["n0", "n1", 1.0])
+        relation, values, location = provenance.resolve_tuple(vid_for(fact))
+        assert relation == "link"
+        assert values == fact.values
+        assert location == "n0"
+
+    def test_resolve_unknown_tuple_raises(self, ring_runtime):
+        from repro.errors import UnknownVertexError
+
+        with pytest.raises(UnknownVertexError):
+            ring_runtime.provenance.resolve_tuple("vid_nonexistent")
+
+
+class TestDisabledProvenance:
+    def test_runtime_without_provenance_still_converges(self, ring5):
+        runtime = mincost.setup(ring5, provenance=False)
+        assert mincost.check_against_reference(runtime, ring5)
+        assert runtime.provenance is None
+
+    def test_provenance_overhead_is_positive(self, ring5):
+        with_provenance = mincost.setup(ring5, provenance=True)
+        sizes = with_provenance.provenance.table_sizes()
+        assert sizes["prov"] >= with_provenance.total_facts()

@@ -1,0 +1,75 @@
+"""Tests for query optimisation settings and the per-node cache."""
+
+import pytest
+
+from repro.core.optimizations import (
+    NodeQueryCache,
+    QueryOptions,
+    TRAVERSAL_PARALLEL,
+    TRAVERSAL_SEQUENTIAL,
+)
+
+
+class TestQueryOptions:
+    def test_defaults(self):
+        options = QueryOptions()
+        assert options.traversal == TRAVERSAL_PARALLEL
+        assert not options.use_cache
+        assert options.threshold is None
+
+    def test_invalid_traversal_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(traversal="zigzag")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(threshold=0)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(max_depth=-1)
+
+    def test_cache_key_excludes_traversal_order(self):
+        sequential = QueryOptions(traversal=TRAVERSAL_SEQUENTIAL, threshold=5)
+        parallel = QueryOptions(traversal=TRAVERSAL_PARALLEL, threshold=5)
+        assert sequential.cache_key_part() == parallel.cache_key_part()
+
+    def test_cache_key_includes_pruning(self):
+        assert QueryOptions(threshold=5).cache_key_part() != QueryOptions(threshold=9).cache_key_part()
+
+    def test_presets(self):
+        assert QueryOptions.baseline().use_cache is False
+        optimized = QueryOptions.optimized(threshold=3)
+        assert optimized.use_cache and optimized.traversal == TRAVERSAL_SEQUENTIAL
+
+
+class TestNodeQueryCache:
+    def test_miss_then_hit(self):
+        cache = NodeQueryCache()
+        options = QueryOptions(use_cache=True)
+        assert cache.lookup("vid_x", "lineage", options, version=1) is None
+        cache.store("vid_x", "lineage", options, version=1, value="answer")
+        assert cache.lookup("vid_x", "lineage", options, version=1) == "answer"
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_version_change_invalidates(self):
+        cache = NodeQueryCache()
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_x", "lineage", options, version=1, value="answer")
+        assert cache.lookup("vid_x", "lineage", options, version=2) is None
+        # the stale entry is evicted
+        assert len(cache) == 0
+
+    def test_mode_and_options_isolate_entries(self):
+        cache = NodeQueryCache()
+        options_a = QueryOptions(use_cache=True, threshold=None)
+        options_b = QueryOptions(use_cache=True, threshold=2)
+        cache.store("vid_x", "lineage", options_a, version=1, value="full")
+        assert cache.lookup("vid_x", "count", options_a, version=1) is None
+        assert cache.lookup("vid_x", "lineage", options_b, version=1) is None
+
+    def test_clear(self):
+        cache = NodeQueryCache()
+        cache.store("vid_x", "lineage", QueryOptions(), version=1, value="v")
+        cache.clear()
+        assert len(cache) == 0

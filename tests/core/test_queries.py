@@ -1,0 +1,110 @@
+"""Tests for the query reducers (lineage, participants, count, subgraph, custom)."""
+
+import pytest
+
+from repro.core.queries import (
+    BUILTIN_REDUCERS,
+    CountReducer,
+    CustomQuery,
+    ExecRef,
+    LineageReducer,
+    ParticipantsReducer,
+    SubgraphReducer,
+    builtin_reducer,
+)
+from repro.core.results import TupleRef
+
+
+def ref(relation="link", values=("a", "b"), location="n0"):
+    return TupleRef(relation=relation, values=values, location=location)
+
+
+def exec_ref(rid="rid_1", rule="r1", location="n1"):
+    return ExecRef(rid=rid, rule_name=rule, program_name="p", location=location)
+
+
+class TestLineageReducer:
+    reducer = LineageReducer()
+
+    def test_base_value_is_singleton(self):
+        assert self.reducer.base_value(ref()) == frozenset({ref()})
+
+    def test_exec_value_unions_children(self):
+        value = self.reducer.exec_value(exec_ref(), [frozenset({ref()}), frozenset({ref(values=("x",))})])
+        assert len(value) == 2
+
+    def test_tuple_value_with_no_derivations_is_itself(self):
+        assert self.reducer.tuple_value(ref(), []) == frozenset({ref()})
+
+    def test_size(self):
+        assert self.reducer.size(frozenset({ref(), ref(values=("z",))})) == 2
+
+
+class TestParticipantsReducer:
+    reducer = ParticipantsReducer()
+
+    def test_includes_tuple_and_exec_locations(self):
+        child = self.reducer.base_value(ref(location="n0"))
+        execution = self.reducer.exec_value(exec_ref(location="n1"), [child])
+        combined = self.reducer.tuple_value(ref(location="n2"), [execution])
+        assert combined == frozenset({"n0", "n1", "n2"})
+
+
+class TestCountReducer:
+    reducer = CountReducer()
+
+    def test_base_counts_one(self):
+        assert self.reducer.base_value(ref()) == 1
+
+    def test_exec_multiplies_children(self):
+        assert self.reducer.exec_value(exec_ref(), [2, 3]) == 6
+
+    def test_tuple_sums_alternatives(self):
+        assert self.reducer.tuple_value(ref(), [2, 3]) == 5
+        assert self.reducer.tuple_value(ref(), []) == 1
+
+
+class TestSubgraphReducer:
+    reducer = SubgraphReducer()
+
+    def test_builds_graph_fragments(self):
+        base = self.reducer.base_value(ref())
+        assert base.tuple_count == 1
+        merged = self.reducer.tuple_value(ref(values=("top",)), [base])
+        assert merged.tuple_count == 2
+
+    def test_size_counts_tuples(self):
+        assert self.reducer.size(self.reducer.base_value(ref())) == 1
+
+
+class TestCustomQuery:
+    def test_depth_query(self):
+        depth = CustomQuery(
+            name="depth",
+            on_base=lambda tuple_ref: 0,
+            on_exec=lambda exec_ref, children: 1 + max(children, default=0),
+            on_tuple=lambda tuple_ref, derivations: max(derivations, default=0),
+        )
+        base = depth.base_value(ref())
+        one_level = depth.exec_value(exec_ref(), [base])
+        assert depth.tuple_value(ref(), [one_level]) == 1
+
+    def test_default_size(self):
+        custom = CustomQuery(
+            name="x",
+            on_base=lambda tuple_ref: "v",
+            on_exec=lambda exec_ref, children: "v",
+            on_tuple=lambda tuple_ref, derivations: "v",
+        )
+        assert custom.size("anything") == 1
+
+
+class TestRegistry:
+    def test_builtin_lookup(self):
+        assert builtin_reducer("lineage") is BUILTIN_REDUCERS["lineage"]
+        with pytest.raises(KeyError):
+            builtin_reducer("unknown")
+
+    def test_builtin_names_match_keys(self):
+        for mode, reducer in BUILTIN_REDUCERS.items():
+            assert reducer.name == mode

@@ -1,0 +1,195 @@
+"""Tests for the distributed provenance query engine."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.optimizations import QueryOptions
+from repro.core.queries import CustomQuery, QUERY_COUNT, QUERY_LINEAGE
+from repro.core.query import DistributedQueryEngine
+from repro.core.results import TupleRef
+from repro.engine import topology
+from repro.protocols import dsr, mincost, path_vector
+
+
+@pytest.fixture
+def mincost_engine(mincost_ring):
+    return mincost_ring, DistributedQueryEngine(mincost_ring)
+
+
+class TestLineageQueries:
+    def test_lineage_of_two_hop_mincost(self, mincost_engine):
+        runtime, queries = mincost_engine
+        result = queries.lineage("minCost", ["n0", "n2", 2.0])
+        expected = {
+            TupleRef("link", ("n0", "n1", 1.0), "n0"),
+            TupleRef("link", ("n1", "n2", 1.0), "n1"),
+        }
+        assert result.value == frozenset(expected)
+        assert not result.truncated
+
+    def test_lineage_of_direct_link_is_single_base(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.lineage("minCost", ["n0", "n1", 1.0])
+        assert result.value == frozenset({TupleRef("link", ("n0", "n1", 1.0), "n0")})
+
+    def test_lineage_matches_centralized_graph(self, mincost_engine):
+        runtime, queries = mincost_engine
+        graph = runtime.provenance.build_graph()
+        for source, destination, cost in runtime.state("minCost"):
+            distributed = queries.lineage("minCost", [source, destination, cost]).value
+            vertex = graph.find_tuples("minCost", (source, destination, cost))[0]
+            centralized = {
+                (v.relation,) + v.values for v in graph.base_tuples_of(vertex.vid)
+            }
+            assert {(r.relation,) + r.values for r in distributed} == centralized
+
+    def test_query_for_absent_tuple_rejected(self, mincost_engine):
+        _, queries = mincost_engine
+        with pytest.raises(QueryError):
+            queries.lineage("minCost", ["n0", "n2", 99.0])
+
+    def test_unknown_mode_rejected(self, mincost_engine):
+        _, queries = mincost_engine
+        with pytest.raises(QueryError):
+            queries.query("minCost", ["n0", "n1", 1.0], mode="nonsense")
+
+    def test_engine_requires_provenance(self, ring5):
+        runtime = mincost.setup(ring5, provenance=False)
+        with pytest.raises(QueryError):
+            DistributedQueryEngine(runtime)
+
+
+class TestOtherModes:
+    def test_participants_of_multi_hop_tuple(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.participants("minCost", ["n0", "n2", 2.0])
+        assert result.value == frozenset({"n0", "n1"})
+
+    def test_derivation_count_on_ring(self, mincost_engine):
+        runtime, queries = mincost_engine
+        graph = runtime.provenance.build_graph()
+        for source, destination, cost in runtime.state("minCost"):
+            distributed = queries.derivation_count("minCost", [source, destination, cost]).value
+            vertex = graph.find_tuples("minCost", (source, destination, cost))[0]
+            assert distributed == graph.derivation_count(vertex.vid)
+
+    def test_dsr_alternative_routes_counted(self):
+        net = topology.ring(5)
+        runtime = dsr.setup(net)
+        dsr.request_route(runtime, "n0", "n2")
+        queries = DistributedQueryEngine(runtime)
+        count = queries.derivation_count("routeCount", ["n0", "n2", 2]).value
+        assert count >= 1
+
+    def test_subgraph_query_returns_renderable_graph(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.subgraph("minCost", ["n0", "n2", 2.0])
+        graph = result.value
+        assert graph.tuple_count >= 3
+        assert graph.find_tuples("minCost", ("n0", "n2", 2.0))
+
+    def test_custom_query_depth(self, mincost_engine):
+        _, queries = mincost_engine
+        queries.register_query(
+            CustomQuery(
+                name="depth",
+                on_base=lambda ref: 0,
+                on_exec=lambda ref, children: 1 + max(children, default=0),
+                on_tuple=lambda ref, derivations: max(derivations, default=0),
+            )
+        )
+        shallow = queries.query("minCost", ["n0", "n1", 1.0], mode="depth").value
+        deep = queries.query("minCost", ["n0", "n2", 2.0], mode="depth").value
+        assert deep > shallow >= 1
+
+
+class TestStatsAndIssuingNode:
+    def test_remote_tuple_query_costs_messages(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.lineage("minCost", ["n0", "n2", 2.0])
+        assert result.stats.messages > 0
+        assert result.stats.nodes_visited == 2
+        assert result.stats.latency > 0
+
+    def test_purely_local_query_costs_no_messages(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.lineage("minCost", ["n0", "n1", 1.0])
+        assert result.stats.messages == 0
+
+    def test_query_issued_from_other_node(self, mincost_engine):
+        _, queries = mincost_engine
+        local = queries.lineage("minCost", ["n0", "n2", 2.0])
+        remote = queries.lineage("minCost", ["n0", "n2", 2.0], at="n3")
+        assert remote.value == local.value
+        # issuing remotely costs at least the extra request/reply round trip
+        assert remote.stats.messages >= local.stats.messages + 2
+
+    def test_query_issued_at_unknown_node_rejected(self, mincost_engine):
+        _, queries = mincost_engine
+        with pytest.raises(QueryError):
+            queries.lineage("minCost", ["n0", "n2", 2.0], at="ghost")
+
+
+class TestOptimizations:
+    def test_cache_eliminates_messages_on_repeat(self, pathvector_line):
+        queries = DistributedQueryEngine(pathvector_line)
+        options = QueryOptions(use_cache=True)
+        first = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        second = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        assert second.value == first.value
+        assert first.stats.messages > 0
+        assert second.stats.messages == 0
+        assert second.stats.cache_hits >= 1
+
+    def test_cache_invalidated_by_provenance_change(self, pathvector_line):
+        runtime = pathvector_line
+        queries = DistributedQueryEngine(runtime)
+        options = QueryOptions(use_cache=True)
+        first = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        # Any provenance change (even an unrelated link) invalidates the cache.
+        runtime.insert("link", ["n3", "n0", 10.0])
+        runtime.insert("link", ["n0", "n3", 10.0])
+        runtime.run_to_quiescence()
+        second = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        assert second.value == first.value
+        assert second.stats.messages > 0  # cache entry was stale, traversal re-ran
+
+    def test_sequential_threshold_prunes_messages(self):
+        # A richer topology gives minCost tuples several alternative
+        # derivations, so pruning after the first one saves messages.
+        net = topology.random_connected(8, edge_probability=0.5, seed=5)
+        runtime = mincost.setup(net)
+        queries = DistributedQueryEngine(runtime)
+        rows = runtime.state("minCost")
+        source, destination, cost = max(rows, key=lambda row: row[2])
+        baseline = queries.lineage("minCost", [source, destination, cost])
+        pruned = queries.lineage(
+            "minCost",
+            [source, destination, cost],
+            options=QueryOptions(traversal="sequential", threshold=1),
+        )
+        assert pruned.stats.messages <= baseline.stats.messages
+        assert pruned.truncated or pruned.value == baseline.value
+        # the pruned result is a subset of the full lineage
+        assert set(pruned.value) <= set(baseline.value)
+
+    def test_max_depth_truncates(self, mincost_engine):
+        _, queries = mincost_engine
+        result = queries.lineage(
+            "minCost", ["n0", "n2", 2.0], options=QueryOptions(max_depth=1)
+        )
+        assert result.truncated
+
+    def test_truncated_results_not_cached(self, mincost_engine):
+        _, queries = mincost_engine
+        options = QueryOptions(use_cache=True, max_depth=1)
+        queries.lineage("minCost", ["n0", "n2", 2.0], options=options)
+        stats = queries.cache_stats()
+        assert all(entry["entries"] == 0 for entry in stats.values())
+
+    def test_cache_stats_structure(self, mincost_engine):
+        _, queries = mincost_engine
+        queries.lineage("minCost", ["n0", "n1", 1.0], options=QueryOptions(use_cache=True))
+        stats = queries.cache_stats()
+        assert "n0" in stats
+        assert set(stats["n0"]) == {"hits", "misses", "stores", "entries"}

@@ -1,0 +1,127 @@
+"""Tests for the automatic provenance rule rewriting (ExSPAN rewrite)."""
+
+import pytest
+
+from repro.core.keys import BASE_RID
+from repro.core.rewrite import (
+    PROV_RELATION,
+    RULE_EXEC_RELATION,
+    base_provenance_rule,
+    provenance_registry,
+    rewrite_program,
+    rewrite_rule,
+)
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.ndlog.localization import localize_program
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.ndlog.validation import validate_program
+from repro.protocols import mincost
+
+SIMPLE_PROGRAM = """
+materialize(link, infinity, infinity, keys(1, 2)).
+t1 reach(@S, D) :- link(@S, D, C).
+t2 reach(@S, D) :- link(@S, Z, C), reach(@Z, D), S != D.
+"""
+
+
+class TestRewriteShape:
+    def test_rewritten_program_contains_original_and_view_rules(self):
+        program = parse_program(SIMPLE_PROGRAM, name="simple")
+        rewritten = rewrite_program(program)
+        heads = {rule.head.relation for rule in rewritten.rules}
+        assert {PROV_RELATION, RULE_EXEC_RELATION, "reach", "link"} - heads == {"link"}
+        names = [rule.name for rule in rewritten.rules]
+        assert any(name.endswith("_prov") for name in names)
+        assert any(name.endswith("_ruleExec") for name in names)
+        assert any(name.endswith("_base_prov") for name in names)
+
+    def test_rewritten_program_is_valid_ndlog(self):
+        program = parse_program(SIMPLE_PROGRAM, name="simple")
+        rewritten = rewrite_program(program)
+        validate_program(rewritten, provenance_registry())
+
+    def test_rewritten_program_renders_and_reparses(self):
+        rewritten = rewrite_program(parse_program(SIMPLE_PROGRAM, name="simple"))
+        reparsed = parse_program(str(rewritten), name="roundtrip")
+        assert len(reparsed.rules) == len(rewritten.rules)
+
+    def test_aggregate_and_maybe_rules_passed_through(self):
+        rewritten = rewrite_program(mincost.program())
+        # mc3 (the aggregate rule) gets no _prov/_ruleExec companions.
+        names = {rule.name for rule in rewritten.rules}
+        assert "mc3" in names
+        assert "mc3_prov" not in names
+
+    def test_rewrite_rule_skips_maybe_rules(self):
+        rule = parse_rule("m out(@A, X) ?- incoming(@A, X).")
+        assert rewrite_rule(rule, "p") == []
+
+    def test_base_provenance_rule_shape(self):
+        rule = base_provenance_rule("link", 3)
+        assert rule.head.relation == PROV_RELATION
+        assert str(rule.head.terms[2]) == f'"{BASE_RID}"'
+
+
+class TestRewriteExecutionEquivalence:
+    """Executing the rewritten program computes the same tables as the engine hooks."""
+
+    @pytest.fixture
+    def reference_tables(self):
+        net = topology.line(3)
+        runtime = NetTrailsRuntime(SIMPLE_PROGRAM, net, provenance=True, program_name="simple")
+        runtime.seed_links(run=True)
+        provenance = runtime.provenance
+        prov_rows = set()
+        exec_rows = set()
+        for node_id in runtime.node_ids():
+            store = provenance.store(node_id)
+            for loc, vid, rid, rloc in store.prov_table():
+                prov_rows.add((loc, vid, rid, rloc))
+            for loc, rid, rule, _program, children in store.rule_exec_table():
+                exec_rows.add((loc, rid, rule, tuple(children)))
+        return prov_rows, exec_rows
+
+    @pytest.fixture
+    def rewritten_tables(self):
+        net = topology.line(3)
+        program = rewrite_program(parse_program(SIMPLE_PROGRAM, name="simple"))
+        runtime = NetTrailsRuntime(
+            program, net, provenance=False, registry=provenance_registry()
+        )
+        runtime.seed_links(run=True)
+        prov_rows = set()
+        for node_id in runtime.node_ids():
+            for loc, vid, rid, rloc in runtime.node_state(node_id, PROV_RELATION):
+                prov_rows.add((loc, vid, rid, rloc))
+        exec_rows = set()
+        for node_id in runtime.node_ids():
+            for loc, rid, rule, _program, children in runtime.node_state(
+                node_id, RULE_EXEC_RELATION
+            ):
+                exec_rows.add((loc, rid, rule, tuple(children)))
+        return prov_rows, exec_rows
+
+    def test_prov_tables_identical(self, reference_tables, rewritten_tables):
+        assert rewritten_tables[0] == reference_tables[0]
+
+    def test_rule_exec_tables_identical(self, reference_tables, rewritten_tables):
+        assert rewritten_tables[1] == reference_tables[1]
+
+    def test_rewritten_views_track_deletions(self):
+        net = topology.line(3)
+        program = rewrite_program(parse_program(SIMPLE_PROGRAM, name="simple"))
+        runtime = NetTrailsRuntime(
+            program, net, provenance=False, registry=provenance_registry()
+        )
+        runtime.seed_links(run=True)
+        before = len(runtime.state(PROV_RELATION))
+        runtime.remove_link("n1", "n2")
+        runtime.run_to_quiescence()
+        after = len(runtime.state(PROV_RELATION))
+        assert after < before
+        # n2 can no longer reach anyone, and the corresponding prov view rows
+        # disappeared together with the reach tuples.
+        reach = runtime.state("reach")
+        assert ("n2", "n0") not in reach and ("n2", "n1") not in reach
+        assert ("n0", "n1") in reach

@@ -1,0 +1,48 @@
+"""Tests for the aggregate update-ordering design choice (and its ablation switch).
+
+The default insert-before-retract ordering is what keeps deletion cascades
+small on cyclic topologies; the ablation mode (retract-first) must still be
+*correct*, just more expensive, which is exactly what the ablation benchmark
+measures.
+"""
+
+import pytest
+
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.protocols import mincost
+
+
+def build(retract_first: bool):
+    net = topology.ring(5)
+    runtime = NetTrailsRuntime(
+        mincost.program(), net, aggregate_retract_first=retract_first
+    )
+    runtime.seed_links(run=True)
+    return net, runtime
+
+
+class TestOrderingModes:
+    @pytest.mark.parametrize("retract_first", [False, True])
+    def test_both_orderings_converge_to_the_same_state(self, retract_first):
+        net, runtime = build(retract_first)
+        assert mincost.check_against_reference(runtime, net)
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        assert mincost.check_against_reference(runtime, net)
+
+    def test_default_ordering_needs_fewer_events_on_deletion(self):
+        _net_a, insert_first = build(retract_first=False)
+        _net_b, retract_first = build(retract_first=True)
+
+        def deletion_cost(runtime):
+            before = runtime.simulator.processed_events
+            runtime.remove_link("n0", "n1")
+            runtime.run_to_quiescence()
+            return runtime.simulator.processed_events - before
+
+        assert deletion_cost(insert_first) <= deletion_cost(retract_first)
+
+    def test_default_mode_is_insert_first(self):
+        _net, runtime = build(retract_first=False)
+        assert runtime.node("n0").evaluator.aggregate_retract_first is False

@@ -1,0 +1,60 @@
+"""Tests for the relation catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.engine.catalog import Catalog
+from repro.engine.tuples import Fact
+from repro.ndlog.parser import parse_program
+from repro.protocols import mincost
+
+
+class TestCatalogFromProgram:
+    def test_location_indices_inferred(self):
+        catalog = Catalog.from_program(mincost.program())
+        assert catalog.schema("link").location_index == 0
+        assert catalog.schema("minCost").location_index == 0
+
+    def test_keys_from_materialize(self):
+        catalog = Catalog.from_program(mincost.program())
+        assert catalog.schema("link").key_positions == (0, 1)
+
+    def test_pending_keys_applied_when_relation_first_seen_later(self):
+        # materialize appears in one program, the atoms in a later one.
+        first = parse_program("materialize(route, infinity, infinity, keys(1, 2)).\n"
+                              "r dummy(@X) :- seed(@X).", name="first")
+        second = parse_program("r2 out(@A, B, C) :- route(@A, B, C).", name="second")
+        catalog = Catalog.from_program(first)
+        catalog.add_program(second)
+        assert catalog.schema("route").key_positions == (0, 1)
+        assert catalog.schema("route").arity == 3
+
+    def test_inconsistent_arity_rejected(self):
+        program = parse_program("r1 p(@S, D) :- q(@S, D).", name="a")
+        catalog = Catalog.from_program(program)
+        other = parse_program("r2 x(@S) :- q(@S).", name="b")
+        with pytest.raises(SchemaError):
+            catalog.add_program(other)
+
+    def test_inconsistent_location_rejected(self):
+        catalog = Catalog.from_program(parse_program("r1 p(@S, D) :- q(@S, D).", name="a"))
+        with pytest.raises(SchemaError):
+            catalog.add_program(parse_program("r2 z(@S) :- p(S, @D).", name="b"))
+
+    def test_location_of_fact(self):
+        catalog = Catalog.from_program(mincost.program())
+        assert catalog.location_of(Fact.make("link", ["n3", "n4", 1])) == "n3"
+
+    def test_unknown_relation_gets_default_schema(self):
+        catalog = Catalog()
+        fact = Fact.make("mystery", ["n1", 2])
+        assert catalog.location_of(fact) == "n1"
+        assert catalog.key_of(fact) is None
+
+    def test_unknown_relation_schema_lookup_raises(self):
+        with pytest.raises(SchemaError):
+            Catalog().schema("nope")
+
+    def test_relations_listing(self):
+        catalog = Catalog.from_program(mincost.program())
+        assert {"link", "path", "minCost"} <= set(catalog.relations())

@@ -1,0 +1,126 @@
+"""Tests for dataflow primitives: matching, evaluation, head instantiation."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.ndlog.ast import Aggregate, Atom, Condition, Constant, Expression, FunctionCall, Variable
+from repro.ndlog.functions import default_registry
+from repro.ndlog.parser import parse_rule
+from repro.engine.dataflow import (
+    bound_positions,
+    evaluate_term,
+    group_key_of,
+    instantiate_head,
+    match_atom,
+    satisfies,
+    term_is_ground,
+)
+from repro.engine.tuples import Fact
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+class TestEvaluateTerm:
+    def test_arithmetic(self, registry):
+        term = Expression("+", Variable("A"), Expression("*", Constant(2), Variable("B")))
+        assert evaluate_term(term, {"A": 1, "B": 3}, registry) == 7
+
+    def test_comparison_returns_bool(self, registry):
+        term = Expression("<", Variable("A"), Constant(5))
+        assert evaluate_term(term, {"A": 3}, registry) is True
+
+    def test_function_call(self, registry):
+        term = FunctionCall("f_concat", (Variable("P"), Constant(("x",))))
+        assert evaluate_term(term, {"P": ("a",)}, registry) == ("a", "x")
+
+    def test_unbound_variable_raises(self, registry):
+        with pytest.raises(EngineError):
+            evaluate_term(Variable("Missing"), {}, registry)
+
+    def test_aggregate_cannot_be_evaluated(self, registry):
+        with pytest.raises(EngineError):
+            evaluate_term(Aggregate("min", "C"), {}, registry)
+
+    def test_term_is_ground(self):
+        term = Expression("+", Variable("A"), Constant(1))
+        assert term_is_ground(term, {"A": 1})
+        assert not term_is_ground(term, {})
+
+
+class TestMatchAtom:
+    def test_successful_match_extends_bindings(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("D"), Variable("C")), 0)
+        fact = Fact.make("link", ["n0", "n1", 2])
+        bindings = match_atom(atom, fact, {}, registry)
+        assert bindings == {"S": "n0", "D": "n1", "C": 2}
+
+    def test_conflicting_binding_fails(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("S"), Variable("C")), 0)
+        fact = Fact.make("link", ["n0", "n1", 2])
+        assert match_atom(atom, fact, {}, registry) is None
+
+    def test_existing_bindings_respected(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("D"), Variable("C")), 0)
+        fact = Fact.make("link", ["n0", "n1", 2])
+        assert match_atom(atom, fact, {"S": "nX"}, registry) is None
+        assert match_atom(atom, fact, {"S": "n0"}, registry) is not None
+
+    def test_constant_argument_must_equal(self, registry):
+        atom = Atom("link", (Variable("S"), Constant("n1"), Variable("C")), 0)
+        assert match_atom(atom, Fact.make("link", ["n0", "n1", 2]), {}, registry)
+        assert match_atom(atom, Fact.make("link", ["n0", "n9", 2]), {}, registry) is None
+
+    def test_wrong_relation_or_arity_fails(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("D")), 0)
+        assert match_atom(atom, Fact.make("path", ["a", "b"]), {}, registry) is None
+        assert match_atom(atom, Fact.make("link", ["a", "b", "c"]), {}, registry) is None
+
+    def test_underscore_matches_anything_without_binding(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("_"), Variable("_")), 0)
+        bindings = match_atom(atom, Fact.make("link", ["n0", "n1", 2]), {}, registry)
+        assert bindings == {"S": "n0"}
+
+    def test_ground_expression_argument_compared_by_value(self, registry):
+        atom = Atom("p", (Variable("S"), Expression("+", Variable("C"), Constant(1))), 0)
+        fact = Fact.make("p", ["n0", 5])
+        assert match_atom(atom, fact, {"C": 4}, registry) is not None
+        assert match_atom(atom, fact, {"C": 7}, registry) is None
+
+
+class TestConditionsAndHeads:
+    def test_satisfies_numeric_convention(self, registry):
+        condition = Condition(FunctionCall("f_member", (Variable("P"), Variable("X"))))
+        assert satisfies(condition, {"P": (1, 2), "X": 1}, registry)
+        assert not satisfies(condition, {"P": (1, 2), "X": 5}, registry)
+
+    def test_satisfies_comparison(self, registry):
+        rule = parse_rule("r p(@S, C) :- q(@S, C), C < 4.")
+        condition = rule.conditions[0]
+        assert satisfies(condition, {"C": 3}, registry)
+        assert not satisfies(condition, {"C": 9}, registry)
+
+    def test_instantiate_head_evaluates_expressions(self, registry):
+        rule = parse_rule("r p(@S, D, C1 + C2) :- q(@S, D, C1, C2).")
+        fact = instantiate_head(rule.head, {"S": "n0", "D": "n1", "C1": 2, "C2": 3}, registry)
+        assert fact == Fact.make("p", ["n0", "n1", 5])
+
+    def test_instantiate_head_with_aggregate_value(self, registry):
+        rule = parse_rule("r m(@S, D, min<C>) :- p(@S, D, C).")
+        fact = instantiate_head(rule.head, {"S": "a", "D": "b"}, registry, aggregate_value=7)
+        assert fact == Fact.make("m", ["a", "b", 7])
+
+    def test_instantiate_head_missing_aggregate_value_raises(self, registry):
+        rule = parse_rule("r m(@S, min<C>) :- p(@S, C).")
+        with pytest.raises(EngineError):
+            instantiate_head(rule.head, {"S": "a"}, registry)
+
+    def test_group_key_excludes_aggregate(self, registry):
+        rule = parse_rule("r m(@S, D, min<C>) :- p(@S, D, C).")
+        assert group_key_of(rule.head, {"S": "a", "D": "b", "C": 9}, registry) == ("a", "b")
+
+    def test_bound_positions(self, registry):
+        atom = Atom("link", (Variable("S"), Variable("D"), Constant(3)), 0)
+        assert bound_positions(atom, {"S": "n0"}) == {0: "n0", 2: 3}

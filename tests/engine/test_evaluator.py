@@ -1,0 +1,185 @@
+"""Tests for the per-node incremental evaluator (single-node, no network)."""
+
+import pytest
+
+from repro.engine.compiler import compile_program
+from repro.engine.evaluator import LocalEvaluator
+from repro.engine.store import TupleStore
+from repro.engine.tuples import Fact
+from repro.ndlog.parser import parse_program
+
+
+def make_evaluator(source, node="n0", name="test"):
+    compiled = compile_program(parse_program(source, name=name))
+    store = TupleStore()
+    return LocalEvaluator(compiled, store, node), store
+
+
+def insert(evaluator, store, fact):
+    """Insert a fact as if the node had stored it, returning the effects."""
+    if store.add_derivation(fact, f"test:{fact}"):
+        return evaluator.on_fact_inserted(fact)
+    return []
+
+
+def delete(evaluator, store, fact):
+    derivations = store.remove_fact(fact)
+    if derivations:
+        return evaluator.on_fact_deleted(fact)
+    return []
+
+
+LOCAL_JOIN = """
+r1 twoHop(@S, D) :- link(@S, Z), link2(@S, Z, D).
+"""
+
+
+class TestBasicFiring:
+    def test_join_fires_when_both_sides_present(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        assert insert(evaluator, store, Fact.make("link", ["n0", "a"])) == []
+        effects = insert(evaluator, store, Fact.make("link2", ["n0", "a", "b"]))
+        assert len(effects) == 1
+        effect = effects[0]
+        assert effect.sign == +1
+        assert effect.head_fact == Fact.make("twoHop", ["n0", "b"])
+        assert effect.head_location == "n0"
+        assert len(effect.body_facts) == 2
+
+    def test_no_firing_without_join_partner(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        assert insert(evaluator, store, Fact.make("link2", ["n0", "x", "y"])) == []
+
+    def test_duplicate_binding_not_refired(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        insert(evaluator, store, Fact.make("link", ["n0", "a"]))
+        insert(evaluator, store, Fact.make("link2", ["n0", "a", "b"]))
+        # Inserting the same fact again does not reach the evaluator at all
+        # (the store reports it as already present), so no duplicate firing.
+        assert insert(evaluator, store, Fact.make("link2", ["n0", "a", "b"])) == []
+
+    def test_retraction_on_body_fact_deletion(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        insert(evaluator, store, Fact.make("link", ["n0", "a"]))
+        inserted = insert(evaluator, store, Fact.make("link2", ["n0", "a", "b"]))
+        retracted = delete(evaluator, store, Fact.make("link", ["n0", "a"]))
+        assert len(retracted) == 1
+        assert retracted[0].sign == -1
+        assert retracted[0].firing_id == inserted[0].firing_id
+        assert evaluator.firing_count == 0
+
+    def test_conditions_and_assignments(self):
+        evaluator, store = make_evaluator(
+            "r1 far(@S, D, C) :- link(@S, D, C0), C := C0 * 2, C > 5."
+        )
+        assert insert(evaluator, store, Fact.make("link", ["n0", "a", 2])) == []
+        effects = insert(evaluator, store, Fact.make("link", ["n0", "b", 4]))
+        assert effects[0].head_fact == Fact.make("far", ["n0", "b", 8])
+
+    def test_self_join_does_not_duplicate_derivations(self):
+        evaluator, store = make_evaluator("r1 pair(@S, A, B) :- item(@S, A), item(@S, B).")
+        insert(evaluator, store, Fact.make("item", ["n0", 1]))
+        effects = insert(evaluator, store, Fact.make("item", ["n0", 2]))
+        heads = sorted(str(e.head_fact) for e in effects)
+        # (1,2), (2,1) and (2,2) are all new; (1,1) was derived on first insert.
+        assert len(effects) == 3
+        assert len(set(heads)) == 3
+
+    def test_remote_head_location_reported(self):
+        evaluator, store = make_evaluator("r1 echo(@D, S) :- link(@S, D).", node="n0")
+        effects = insert(evaluator, store, Fact.make("link", ["n0", "n9"]))
+        assert effects[0].head_location == "n9"
+
+
+class TestAggregates:
+    AGG = "r1 best(@S, D, min<C>) :- path(@S, D, C)."
+
+    def test_min_aggregate_tracks_group_minimum(self):
+        evaluator, store = make_evaluator(self.AGG)
+        effects = insert(evaluator, store, Fact.make("path", ["n0", "d", 5]))
+        assert effects[0].head_fact == Fact.make("best", ["n0", "d", 5])
+        effects = insert(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        signs = [(e.sign, e.head_fact.values[2]) for e in effects]
+        assert (-1, 5) in signs and (+1, 3) in signs
+
+    def test_worse_value_does_not_change_aggregate(self):
+        evaluator, store = make_evaluator(self.AGG)
+        insert(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        assert insert(evaluator, store, Fact.make("path", ["n0", "d", 9])) == []
+
+    def test_deleting_minimum_falls_back_to_next_best(self):
+        evaluator, store = make_evaluator(self.AGG)
+        insert(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        insert(evaluator, store, Fact.make("path", ["n0", "d", 9]))
+        effects = delete(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        signs = [(e.sign, e.head_fact.values[2]) for e in effects]
+        assert (-1, 3) in signs and (+1, 9) in signs
+
+    def test_deleting_last_entry_removes_aggregate(self):
+        evaluator, store = make_evaluator(self.AGG)
+        insert(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        effects = delete(evaluator, store, Fact.make("path", ["n0", "d", 3]))
+        assert [e.sign for e in effects] == [-1]
+        assert evaluator.firing_count == 0
+
+    def test_groups_are_independent(self):
+        evaluator, store = make_evaluator(self.AGG)
+        insert(evaluator, store, Fact.make("path", ["n0", "d1", 3]))
+        effects = insert(evaluator, store, Fact.make("path", ["n0", "d2", 7]))
+        assert effects[0].head_fact == Fact.make("best", ["n0", "d2", 7])
+
+    def test_count_star_aggregate(self):
+        evaluator, store = make_evaluator("r1 total(@S, count<*>) :- item(@S, X).")
+        insert(evaluator, store, Fact.make("item", ["n0", "a"]))
+        effects = insert(evaluator, store, Fact.make("item", ["n0", "b"]))
+        values = [e.head_fact.values[1] for e in effects if e.sign > 0]
+        assert values == [2]
+
+    def test_sum_aggregate(self):
+        evaluator, store = make_evaluator("r1 total(@S, sum<C>) :- item(@S, C).")
+        insert(evaluator, store, Fact.make("item", ["n0", 2]))
+        effects = insert(evaluator, store, Fact.make("item", ["n0", 5]))
+        assert any(e.sign > 0 and e.head_fact.values[1] == 7 for e in effects)
+
+    def test_max_aggregate_contributing_facts(self):
+        evaluator, store = make_evaluator("r1 worst(@S, max<C>) :- item(@S, C).")
+        insert(evaluator, store, Fact.make("item", ["n0", 2]))
+        effects = insert(evaluator, store, Fact.make("item", ["n0", 8]))
+        positive = [e for e in effects if e.sign > 0][0]
+        assert positive.body_facts == (Fact.make("item", ["n0", 8]),)
+
+
+class TestNegation:
+    NEG = """
+    r1 candidate(@S, D) :- offer(@S, D), !blocked(@S, D).
+    """
+
+    def test_negative_literal_blocks_firing(self):
+        evaluator, store = make_evaluator(self.NEG)
+        insert(evaluator, store, Fact.make("blocked", ["n0", "d"]))
+        assert insert(evaluator, store, Fact.make("offer", ["n0", "d"])) == []
+
+    def test_firing_when_no_blocker(self):
+        evaluator, store = make_evaluator(self.NEG)
+        effects = insert(evaluator, store, Fact.make("offer", ["n0", "d"]))
+        assert effects[0].head_fact == Fact.make("candidate", ["n0", "d"])
+
+    def test_later_blocker_retracts_existing_firing(self):
+        evaluator, store = make_evaluator(self.NEG)
+        insert(evaluator, store, Fact.make("offer", ["n0", "d"]))
+        effects = insert(evaluator, store, Fact.make("blocked", ["n0", "d"]))
+        assert [e.sign for e in effects] == [-1]
+        assert effects[0].head_fact == Fact.make("candidate", ["n0", "d"])
+
+    def test_removing_blocker_rederives(self):
+        evaluator, store = make_evaluator(self.NEG)
+        insert(evaluator, store, Fact.make("blocked", ["n0", "d"]))
+        insert(evaluator, store, Fact.make("offer", ["n0", "d"]))
+        effects = delete(evaluator, store, Fact.make("blocked", ["n0", "d"]))
+        assert [e.sign for e in effects] == [+1]
+        assert effects[0].head_fact == Fact.make("candidate", ["n0", "d"])
+
+    def test_unrelated_blocker_does_not_retract(self):
+        evaluator, store = make_evaluator(self.NEG)
+        insert(evaluator, store, Fact.make("offer", ["n0", "d"]))
+        assert insert(evaluator, store, Fact.make("blocked", ["n0", "other"])) == []

@@ -1,0 +1,76 @@
+"""Tests for the waypoint mobility model."""
+
+import math
+
+from repro.engine.mobility import LinkEvent, WaypointMobilityModel
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        node_names=[f"m{i}" for i in range(6)],
+        field_size=50.0,
+        radio_range=25.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return WaypointMobilityModel(**defaults)
+
+
+class TestGeometry:
+    def test_positions_within_field(self):
+        model = make_model()
+        for x, y in model.positions().values():
+            assert 0.0 <= x <= 50.0
+            assert 0.0 <= y <= 50.0
+
+    def test_in_range_symmetry(self):
+        model = make_model()
+        assert model.in_range("m0", "m1") == model.in_range("m1", "m0")
+
+    def test_current_links_consistent_with_in_range(self):
+        model = make_model()
+        links = model.current_links()
+        for a, b in links:
+            assert model.in_range(a, b)
+
+    def test_determinism(self):
+        a = make_model(seed=9)
+        b = make_model(seed=9)
+        assert a.positions() == b.positions()
+        assert a.current_links() == b.current_links()
+
+
+class TestMovement:
+    def test_step_changes_positions_but_stays_in_field(self):
+        model = make_model()
+        before = model.positions()
+        model.step(5.0)
+        after = model.positions()
+        assert before != after
+        for x, y in after.values():
+            assert -1e-9 <= x <= 50.0 + 1e-9
+            assert -1e-9 <= y <= 50.0 + 1e-9
+
+    def test_events_start_with_initial_links_up(self):
+        model = make_model()
+        events = list(model.events(duration=5.0, dt=1.0))
+        initial = [event for event in events if event.time == 0.0]
+        assert all(event.kind == "up" for event in initial)
+        assert len(initial) == len(make_model().current_links())
+
+    def test_events_alternate_consistently_per_link(self):
+        model = make_model(seed=11)
+        events = list(model.events(duration=30.0, dt=1.0))
+        state = {}
+        for event in events:
+            key = (event.source, event.target)
+            if event.kind == "up":
+                assert state.get(key, "down") == "down"
+                state[key] = "up"
+            else:
+                assert state.get(key) == "up"
+                state[key] = "down"
+
+    def test_event_str(self):
+        event = LinkEvent(1.5, "up", "a", "b")
+        assert "up" in str(event) and "a" in str(event)

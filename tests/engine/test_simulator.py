@@ -1,0 +1,97 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.engine.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(0.5, lambda: order.append("late"))
+        simulator.schedule(0.1, lambda: order.append("early"))
+        simulator.run()
+        assert order == ["early", "late"]
+        assert simulator.now == pytest.approx(0.5)
+
+    def test_same_time_events_run_in_scheduling_order(self):
+        simulator = Simulator()
+        order = []
+        for index in range(5):
+            simulator.schedule(1.0, lambda i=index: order.append(i))
+        simulator.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_more_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                simulator.schedule(1.0, lambda: chain(depth + 1))
+
+        simulator.schedule(0.0, lambda: chain(0))
+        simulator.run()
+        assert seen == [0, 1, 2, 3]
+        assert simulator.now == pytest.approx(3.0)
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule_at(2.5, lambda: fired.append(simulator.now))
+        simulator.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_time_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_time_leaves_future_events_pending(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(5.0, lambda: fired.append(5))
+        simulator.run(until=2.0)
+        assert fired == [1]
+        assert simulator.pending_events == 1
+        assert simulator.now == pytest.approx(2.0)
+
+    def test_max_events_cap(self):
+        simulator = Simulator()
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: None)
+        executed = simulator.run(max_events=4)
+        assert executed == 4
+        assert simulator.pending_events == 6
+
+    def test_run_to_quiescence_raises_on_runaway(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule(0.1, forever)
+
+        simulator.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            simulator.run_to_quiescence(max_events=50)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_event_counter(self):
+        simulator = Simulator()
+        simulator.schedule(0.1, lambda: None)
+        simulator.schedule(0.2, lambda: None)
+        simulator.run()
+        assert simulator.processed_events == 2

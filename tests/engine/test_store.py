@@ -1,0 +1,101 @@
+"""Tests for the per-node tuple store."""
+
+import pytest
+
+from repro.engine.store import BASE_DERIVATION, TupleStore
+from repro.engine.tuples import Fact
+
+
+@pytest.fixture
+def store():
+    return TupleStore()
+
+
+def link(a, b, c=1):
+    return Fact.make("link", [a, b, c])
+
+
+class TestDerivationCounting:
+    def test_add_first_derivation_reports_new(self, store):
+        assert store.add_derivation(link("a", "b"), "d1") is True
+        assert store.contains(link("a", "b"))
+
+    def test_second_derivation_not_new(self, store):
+        store.add_derivation(link("a", "b"), "d1")
+        assert store.add_derivation(link("a", "b"), "d2") is False
+        assert store.derivation_count(link("a", "b")) == 2
+
+    def test_fact_survives_until_last_derivation_removed(self, store):
+        fact = link("a", "b")
+        store.add_derivation(fact, "d1")
+        store.add_derivation(fact, "d2")
+        assert store.remove_derivation(fact, "d1") is False
+        assert store.contains(fact)
+        assert store.remove_derivation(fact, "d2") is True
+        assert not store.contains(fact)
+
+    def test_removing_unknown_derivation_is_noop(self, store):
+        fact = link("a", "b")
+        assert store.remove_derivation(fact, "ghost") is False
+        store.add_derivation(fact, "d1")
+        assert store.remove_derivation(fact, "ghost") is False
+        assert store.contains(fact)
+
+    def test_base_derivation_constant(self, store):
+        fact = link("a", "b")
+        store.add_derivation(fact, BASE_DERIVATION)
+        assert BASE_DERIVATION in store.derivations(fact)
+
+    def test_remove_fact_returns_derivations(self, store):
+        fact = link("a", "b")
+        store.add_derivation(fact, "d1")
+        store.add_derivation(fact, "d2")
+        assert store.remove_fact(fact) == {"d1", "d2"}
+        assert not store.contains(fact)
+        assert store.remove_fact(fact) == set()
+
+
+class TestScansAndIndexes:
+    def test_facts_by_relation(self, store):
+        store.add_derivation(link("a", "b"), "d1")
+        store.add_derivation(link("a", "c"), "d2")
+        store.add_derivation(Fact.make("path", ["a", "c", 2]), "d3")
+        assert len(list(store.facts("link"))) == 2
+        assert store.count("link") == 2
+        assert store.count() == 3
+        assert store.relations() == ["link", "path"]
+
+    def test_matching_uses_and_maintains_index(self, store):
+        store.add_derivation(link("a", "b"), "d1")
+        store.add_derivation(link("a", "c"), "d2")
+        store.add_derivation(link("b", "c"), "d3")
+        matched = list(store.matching("link", {0: "a"}))
+        assert {fact.values[1] for fact in matched} == {"b", "c"}
+        # Index maintained incrementally after insertion and deletion.
+        store.add_derivation(link("a", "d"), "d4")
+        assert len(list(store.matching("link", {0: "a"}))) == 3
+        store.remove_derivation(link("a", "b"), "d1")
+        assert len(list(store.matching("link", {0: "a"}))) == 2
+
+    def test_matching_on_multiple_positions(self, store):
+        store.add_derivation(link("a", "b", 1), "d1")
+        store.add_derivation(link("a", "b", 2), "d2")
+        matched = list(store.matching("link", {0: "a", 1: "b"}))
+        assert len(matched) == 2
+        assert list(store.matching("link", {0: "a", 2: 2})) == [link("a", "b", 2)]
+
+    def test_matching_empty_bound_scans_everything(self, store):
+        store.add_derivation(link("a", "b"), "d1")
+        assert list(store.matching("link", {})) == [link("a", "b")]
+
+    def test_matching_unknown_relation_is_empty(self, store):
+        assert list(store.matching("nothing", {0: "a"})) == []
+
+
+class TestSnapshot:
+    def test_snapshot_contains_counts(self, store):
+        fact = link("a", "b")
+        store.add_derivation(fact, "d1")
+        store.add_derivation(fact, "d2")
+        snapshot = store.snapshot()
+        assert snapshot["link"] == [(("a", "b", 1), 2)]

@@ -1,0 +1,96 @@
+"""Tests for topology generators."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.engine import topology
+
+
+class TestTopologyBasics:
+    def test_add_edge_normalises_direction(self):
+        net = topology.Topology(name="t")
+        net.add_edge("b", "a", 2.0)
+        assert net.has_edge("a", "b")
+        assert net.cost("a", "b") == 2.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(EngineError):
+            topology.Topology(name="t").add_edge("a", "a")
+
+    def test_directed_edges_contains_both_directions(self):
+        net = topology.line(3)
+        directed = net.directed_edges()
+        assert ("n0", "n1", 1.0) in directed and ("n1", "n0", 1.0) in directed
+        assert len(directed) == 2 * net.edge_count()
+
+    def test_neighbors(self):
+        net = topology.star(4)
+        assert net.neighbors("n0") == ["n1", "n2", "n3"]
+        assert net.neighbors("n2") == ["n0"]
+
+    def test_remove_edge(self):
+        net = topology.ring(4)
+        net.remove_edge("n0", "n1")
+        assert not net.has_edge("n0", "n1")
+
+
+class TestGenerators:
+    def test_line_ring_star_shapes(self):
+        assert topology.line(5).edge_count() == 4
+        assert topology.ring(5).edge_count() == 5
+        assert topology.star(5).edge_count() == 4
+
+    def test_grid_shape(self):
+        net = topology.grid(3, 4)
+        assert net.node_count() == 12
+        assert net.edge_count() == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert net.is_connected()
+
+    def test_random_connected_is_connected_and_deterministic(self):
+        a = topology.random_connected(12, edge_probability=0.2, seed=42)
+        b = topology.random_connected(12, edge_probability=0.2, seed=42)
+        assert a.is_connected()
+        assert a.edges == b.edges
+
+    def test_random_connected_different_seeds_differ(self):
+        a = topology.random_connected(12, edge_probability=0.2, seed=1)
+        b = topology.random_connected(12, edge_probability=0.2, seed=2)
+        assert a.edges != b.edges
+
+    def test_isp_hierarchy_structure(self):
+        net = topology.isp_hierarchy(tier1_count=3, tier2_per_tier1=2, stubs_per_tier2=2)
+        assert net.is_connected()
+        tier1 = [node for node in net.nodes if node.startswith("t1_")]
+        stubs = [node for node in net.nodes if node.startswith("stub_")]
+        assert len(tier1) == 3
+        assert len(stubs) == 3 * 2 * 2
+        # tier-1 clique
+        assert net.has_edge("t1_0", "t1_1") and net.has_edge("t1_1", "t1_2")
+
+    def test_from_edges(self):
+        net = topology.from_edges([("a", "b", 1.0), ("b", "c", 2.0)], name="custom")
+        assert net.node_count() == 3
+        assert net.cost("b", "c") == 2.0
+
+
+class TestShortestPaths:
+    def test_matches_known_values_on_ring(self):
+        net = topology.ring(5)
+        costs = net.shortest_path_costs()
+        assert costs[("n0", "n1")] == 1.0
+        assert costs[("n0", "n2")] == 2.0
+        # going the other way round is 2 hops as well
+        assert costs[("n0", "n3")] == 2.0
+
+    def test_respects_edge_weights(self):
+        net = topology.from_edges([("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 1.0)])
+        costs = net.shortest_path_costs()
+        assert costs[("a", "b")] == 2.0
+
+    def test_disconnected_pairs_absent(self):
+        net = topology.Topology(name="two-islands")
+        net.add_edge("a", "b", 1.0)
+        net.add_edge("c", "d", 1.0)
+        costs = net.shortest_path_costs()
+        assert ("a", "c") not in costs
+        assert not net.is_connected()

@@ -1,0 +1,62 @@
+"""Tests for Fact and Schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.engine.tuples import Fact, Schema
+
+
+class TestFact:
+    def test_make_normalises_lists_to_tuples(self):
+        fact = Fact.make("path", ["n0", "n1", [1, 2]])
+        assert fact.values == ("n0", "n1", (1, 2))
+
+    def test_facts_are_hashable_and_value_equal(self):
+        a = Fact.make("link", ["n0", "n1", 1])
+        b = Fact.make("link", ["n0", "n1", 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_unsupported_value_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact.make("bad", [object()])
+
+    def test_unsupported_nested_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact.make("bad", [({"a": 1},)])
+
+    def test_rendering(self):
+        fact = Fact.make("link", ["n0", "n1", 1.5])
+        assert str(fact) == 'link("n0", "n1", 1.5)'
+
+    def test_arity_and_value_access(self):
+        fact = Fact.make("p", [1, 2, 3])
+        assert fact.arity == 3
+        assert fact.value(1) == 2
+
+
+class TestSchema:
+    def test_key_projection(self):
+        schema = Schema(relation="link", arity=3, key_positions=(0, 1))
+        fact = Fact.make("link", ["a", "b", 4])
+        assert schema.key_of(fact) == ("a", "b")
+
+    def test_location_projection(self):
+        schema = Schema(relation="p", arity=2, location_index=1)
+        assert schema.location_of(Fact.make("p", ["x", "home"])) == "home"
+
+    def test_check_rejects_wrong_relation_and_arity(self):
+        schema = Schema(relation="p", arity=2)
+        with pytest.raises(SchemaError):
+            schema.check(Fact.make("q", [1, 2]))
+        with pytest.raises(SchemaError):
+            schema.check(Fact.make("p", [1]))
+
+    def test_invalid_key_position_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(relation="p", arity=2, key_positions=(5,))
+
+    def test_invalid_attribute_name_count_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(relation="p", arity=2, attribute_names=("only_one",))

@@ -1,0 +1,98 @@
+"""Incremental maintenance must equal from-scratch recomputation.
+
+This is the central correctness claim behind NetTrails: "NetTrails correctly
+captures and maintains provenance, as network state is incrementally
+recomputed as the underlying network topology changes."  For a sequence of
+topology changes we compare, after every change, both the protocol state and
+the provenance tables of the incrementally-maintained runtime against a fresh
+runtime built from scratch on the changed topology.
+"""
+
+import copy
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import distance_vector, mincost, path_vector
+
+
+def provenance_fingerprint(runtime):
+    """A canonical representation of the distributed provenance tables."""
+    rows = set()
+    provenance = runtime.provenance
+    for node_id in runtime.node_ids():
+        store = provenance.store(node_id)
+        for row in store.prov_table():
+            rows.add(("prov",) + row)
+        for loc, rid, rule, program, children in store.rule_exec_table():
+            rows.add(("ruleExec", loc, rid, rule, program, tuple(children)))
+    return rows
+
+
+def fresh_runtime(module, net):
+    return module.setup(copy.deepcopy(net))
+
+
+def global_state(runtime, relations):
+    return {relation: sorted(runtime.state(relation), key=repr) for relation in relations}
+
+
+CHANGE_SCRIPTS = {
+    "remove-one": [("remove", 0)],
+    "remove-two-add-one": [("remove", 0), ("remove", 1), ("add", 0)],
+    "add-shortcut": [("add_new", ("n0", "n5", 0.5))],
+}
+
+
+def apply_script(runtime, net, script):
+    """Apply a change script; mirror the changes into `net` as the reference."""
+    removable = sorted(net.edges)
+    removed = []
+    for action, argument in script:
+        if action == "remove":
+            a, b = removable[argument]
+            cost = net.cost(a, b)
+            runtime.remove_link(a, b)
+            removed.append((a, b, cost))
+        elif action == "add":
+            a, b, cost = removed[argument]
+            runtime.add_link(a, b, cost)
+        elif action == "add_new":
+            a, b, cost = argument
+            runtime.add_link(a, b, cost)
+        runtime.run_to_quiescence()
+
+
+class TestIncrementalEqualsScratch:
+    @pytest.mark.parametrize("script_name", sorted(CHANGE_SCRIPTS))
+    @pytest.mark.parametrize(
+        "module,relations",
+        [
+            (mincost, ["path", "minCost"]),
+            (path_vector, ["path", "bestPathCost", "bestPath"]),
+            (distance_vector, ["hop", "bestHop"]),
+        ],
+        ids=["mincost", "path_vector", "distance_vector"],
+    )
+    def test_state_and_provenance_match_fresh_run(self, module, relations, script_name):
+        net = topology.random_connected(8, edge_probability=0.35, seed=13)
+        incremental = module.setup(net)
+        apply_script(incremental, net, CHANGE_SCRIPTS[script_name])
+
+        scratch = fresh_runtime(module, net)
+
+        assert global_state(incremental, relations) == global_state(scratch, relations)
+        assert provenance_fingerprint(incremental) == provenance_fingerprint(scratch)
+
+    def test_insert_then_delete_returns_to_original(self):
+        net = topology.ring(6)
+        runtime = mincost.setup(net)
+        original_state = global_state(runtime, ["path", "minCost"])
+        original_provenance = provenance_fingerprint(runtime)
+        runtime.add_link("n0", "n3", 1.0)
+        runtime.run_to_quiescence()
+        assert global_state(runtime, ["minCost"]) != {"minCost": original_state["minCost"]}
+        runtime.remove_link("n0", "n3")
+        runtime.run_to_quiescence()
+        assert global_state(runtime, ["path", "minCost"]) == original_state
+        assert provenance_fingerprint(runtime) == original_provenance

@@ -1,0 +1,129 @@
+"""Tests for the BGP decision-process simulator (the Quagga substitute)."""
+
+import pytest
+
+from repro.legacy.bgp import BgpDaemon, BgpNetwork, BgpUpdate, Route
+from repro.legacy.relationships import ASTopology, hierarchy
+
+
+@pytest.fixture
+def chain():
+    """1 (provider) - 2 - 3 (chain of customer/provider links; 3 is the stub)."""
+    topo = ASTopology()
+    topo.add_customer_provider(2, 1)
+    topo.add_customer_provider(3, 2)
+    return topo
+
+
+@pytest.fixture
+def diamond_topology():
+    """Stub 4 reaches tier-1s 1 and 2 through two different providers."""
+    topo = ASTopology()
+    topo.add_peering(1, 2)
+    topo.add_customer_provider(3, 1)
+    topo.add_customer_provider(3, 2)
+    topo.add_customer_provider(4, 3)
+    return topo
+
+
+class TestDecisionProcess:
+    def test_origination_installs_local_route(self, chain):
+        network = BgpNetwork(chain)
+        network.originate(3, "10.0.0.0/24")
+        network.run()
+        route = network.best_route(3, "10.0.0.0/24")
+        assert route is not None and route.as_path == (3,)
+
+    def test_propagation_along_provider_chain(self, chain):
+        network = BgpNetwork(chain)
+        network.originate(3, "10.0.0.0/24")
+        network.run()
+        assert network.best_route(2, "10.0.0.0/24").as_path == (3,)
+        assert network.best_route(1, "10.0.0.0/24").as_path == (2, 3)
+        assert network.reachable_ases("10.0.0.0/24") == [1, 2, 3]
+
+    def test_as_path_loop_rejected(self, chain):
+        daemon = BgpDaemon(2, chain)
+        responses = daemon.process(
+            BgpUpdate(sender=1, receiver=2, prefix="p", announce=True, as_path=(1, 2, 3))
+        )
+        assert daemon.best_route("p") is None
+        assert responses == []
+
+    def test_shorter_as_path_preferred_within_same_class(self, diamond_topology):
+        daemon = BgpDaemon(4, diamond_topology)
+        daemon.process(BgpUpdate(sender=3, receiver=4, prefix="p", announce=True, as_path=(3, 1, 9)))
+        daemon.process(BgpUpdate(sender=3, receiver=4, prefix="p", announce=True, as_path=(3, 9)))
+        assert daemon.best_route("p").as_path == (3, 9)
+
+    def test_customer_route_preferred_over_peer_route(self):
+        topo = ASTopology()
+        topo.add_customer_provider(2, 1)   # 2 is customer of 1
+        topo.add_peering(1, 3)
+        daemon = BgpDaemon(1, topo)
+        daemon.process(BgpUpdate(sender=3, receiver=1, prefix="p", announce=True, as_path=(3, 9)))
+        daemon.process(
+            BgpUpdate(sender=2, receiver=1, prefix="p", announce=True, as_path=(2, 8, 9))
+        )
+        # longer path but learned from a customer -> preferred
+        assert daemon.best_route("p").as_path == (2, 8, 9)
+
+    def test_withdrawal_falls_back_to_alternative(self, diamond_topology):
+        network = BgpNetwork(diamond_topology)
+        network.originate(4, "10.9.0.0/24")
+        network.run()
+        # AS 1 learns the prefix through its customer 3
+        assert network.best_route(1, "10.9.0.0/24").as_path == (3, 4)
+        network.withdraw(4, "10.9.0.0/24")
+        network.run()
+        assert network.best_route(1, "10.9.0.0/24") is None
+        assert network.reachable_ases("10.9.0.0/24") == []
+
+
+class TestValleyFreeExport:
+    def test_peer_learned_routes_not_reexported_to_peers(self):
+        # 2 and 3 are both peers of 1; a route 1 learns from peer 2 must not
+        # be exported to peer 3 (valley-free routing).
+        topo = ASTopology()
+        topo.add_peering(1, 2)
+        topo.add_peering(1, 3)
+        network = BgpNetwork(topo)
+        network.originate(2, "p1")
+        network.run()
+        assert network.best_route(1, "p1") is not None
+        assert network.best_route(3, "p1") is None
+
+    def test_customer_learned_routes_reach_everyone(self, diamond_topology):
+        network = BgpNetwork(diamond_topology)
+        network.originate(4, "p2")
+        network.run()
+        assert network.reachable_ases("p2") == [1, 2, 3, 4]
+
+
+class TestObserversAndStats:
+    def test_message_observer_sees_every_update(self, chain):
+        network = BgpNetwork(chain)
+        seen = []
+        network.add_message_observer(seen.append)
+        network.originate(3, "p")
+        network.run()
+        assert len(seen) == network.stats.updates_sent
+        assert all(isinstance(update, BgpUpdate) for update in seen)
+
+    def test_rib_observer_sees_best_route_changes(self, chain):
+        network = BgpNetwork(chain)
+        changes = []
+        network.add_rib_observer(lambda asn, prefix, before, after: changes.append((asn, before, after)))
+        network.originate(3, "p")
+        network.run()
+        assert len(changes) == network.stats.best_route_changes
+        assert any(asn == 1 and before is None for asn, before, _after in changes)
+
+    def test_full_hierarchy_converges(self):
+        topo = hierarchy(tier1_count=3, tier2_per_tier1=2, stubs_per_tier2=2, seed=2)
+        network = BgpNetwork(topo)
+        stubs = [asn for asn, tier in topo.tiers.items() if tier == 3]
+        network.originate(stubs[0], "10.5.0.0/24")
+        network.run()
+        # customer-originated prefixes propagate to the whole hierarchy
+        assert network.reachable_ases("10.5.0.0/24") == sorted(topo.ases)

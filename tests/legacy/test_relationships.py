@@ -1,0 +1,90 @@
+"""Tests for AS-level topologies and Gao-Rexford export policies."""
+
+import pytest
+
+from repro.errors import LegacyIntegrationError
+from repro.legacy.relationships import ASRelationship, ASTopology, hierarchy
+
+
+@pytest.fixture
+def triangle():
+    """AS 1 is provider of AS 2; AS 1 peers with AS 3; AS 2 is provider of AS 4."""
+    topo = ASTopology()
+    topo.add_customer_provider(2, 1)
+    topo.add_peering(1, 3)
+    topo.add_customer_provider(4, 2)
+    return topo
+
+
+class TestRelationships:
+    def test_relationship_lookup(self, triangle):
+        assert triangle.relationship(2, 1) == ASRelationship.CUSTOMER_OF
+        assert triangle.relationship(1, 2) == ASRelationship.PROVIDER_OF
+        assert triangle.relationship(1, 3) == ASRelationship.PEER
+        assert triangle.relationship(3, 1) == ASRelationship.PEER
+        assert triangle.relationship(2, 3) is None
+
+    def test_neighbor_sets(self, triangle):
+        assert triangle.neighbors(1) == [2, 3]
+        assert triangle.customers(1) == [2]
+        assert triangle.providers(2) == [1]
+        assert triangle.peers(1) == [3]
+
+    def test_links_listing(self, triangle):
+        links = triangle.links()
+        assert (2, 1, ASRelationship.CUSTOMER_OF) in links
+        assert (1, 3, ASRelationship.PEER) in links
+
+
+class TestExportPolicy:
+    def test_customer_routes_exported_everywhere(self, triangle):
+        # AS 1 learned a route from its customer 2; it may tell peer 3.
+        assert triangle.should_export(1, learned_from=2, to_neighbor=3)
+
+    def test_peer_routes_only_to_customers(self, triangle):
+        # AS 1 learned a route from peer 3; it may tell customer 2 but 2 is
+        # the only customer; exporting back to 3 is pointless but allowed by
+        # policy only towards customers.
+        assert triangle.should_export(1, learned_from=3, to_neighbor=2)
+        assert not triangle.should_export(3, learned_from=1, to_neighbor=1) if triangle.relationship(3, 1) == ASRelationship.PEER else True
+
+    def test_provider_routes_only_to_customers(self, triangle):
+        # AS 2 learned a route from its provider 1; it may export to its
+        # customer 4 but not back up to 1 (it has no other provider/peer).
+        assert triangle.should_export(2, learned_from=1, to_neighbor=4)
+
+    def test_originated_routes_exported_everywhere(self, triangle):
+        assert triangle.should_export(1, learned_from=None, to_neighbor=3)
+
+    def test_non_adjacent_export_rejected(self, triangle):
+        with pytest.raises(LegacyIntegrationError):
+            triangle.should_export(2, learned_from=1, to_neighbor=3)
+
+    def test_local_preference_order(self, triangle):
+        assert triangle.local_preference(1, 2) > triangle.local_preference(1, 3)  # customer > peer
+        assert triangle.local_preference(2, 1) == 100  # provider routes least preferred
+
+
+class TestHierarchyGenerator:
+    def test_structure_counts(self):
+        topo = hierarchy(tier1_count=3, tier2_per_tier1=2, stubs_per_tier2=2, seed=1)
+        tiers = topo.tiers
+        assert sum(1 for t in tiers.values() if t == 1) == 3
+        assert sum(1 for t in tiers.values() if t == 2) == 6
+        assert sum(1 for t in tiers.values() if t == 3) == 12
+
+    def test_tier1_full_mesh_of_peers(self):
+        topo = hierarchy(tier1_count=3, seed=0)
+        tier1 = sorted(asn for asn, tier in topo.tiers.items() if tier == 1)
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1 :]:
+                assert topo.relationship(a, b) == ASRelationship.PEER
+
+    def test_stubs_have_providers(self):
+        topo = hierarchy(seed=3)
+        for asn, tier in topo.tiers.items():
+            if tier == 3:
+                assert topo.providers(asn)
+
+    def test_determinism(self):
+        assert hierarchy(seed=5).links() == hierarchy(seed=5).links()

@@ -1,0 +1,67 @@
+"""Tests for the synthetic RouteViews-style trace generator."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.legacy.relationships import hierarchy
+from repro.legacy.routeviews import TraceEvent, generate_trace, parse_trace, render_trace
+
+
+@pytest.fixture
+def topo():
+    return hierarchy(tier1_count=2, tier2_per_tier1=2, stubs_per_tier2=2, seed=0)
+
+
+class TestGeneration:
+    def test_events_sorted_by_time(self, topo):
+        events = generate_trace(topo, seed=1)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_origins_are_stub_ases_by_default(self, topo):
+        events = generate_trace(topo, seed=1)
+        stubs = {asn for asn, tier in topo.tiers.items() if tier == 3}
+        assert {event.asn for event in events} <= stubs
+
+    def test_deterministic_for_seed(self, topo):
+        assert generate_trace(topo, seed=5) == generate_trace(topo, seed=5)
+        assert generate_trace(topo, seed=5) != generate_trace(topo, seed=6)
+
+    def test_every_withdrawal_follows_an_announcement(self, topo):
+        events = generate_trace(topo, seed=3, flap_probability=1.0)
+        announced = set()
+        for event in events:
+            key = (event.asn, event.prefix)
+            if event.announce:
+                announced.add(key)
+            else:
+                assert key in announced
+
+    def test_prefixes_are_unique_per_origination(self, topo):
+        events = generate_trace(topo, prefixes_per_stub=2, seed=2, flap_probability=0.0)
+        prefixes = [event.prefix for event in events if event.announce]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_explicit_origin_ases(self, topo):
+        tier1 = [asn for asn, tier in topo.tiers.items() if tier == 1]
+        events = generate_trace(topo, origin_ases=tier1, seed=0, flap_probability=0.0)
+        assert {event.asn for event in events} == set(tier1)
+
+
+class TestSerialisation:
+    def test_round_trip(self, topo):
+        events = generate_trace(topo, seed=4)
+        assert parse_trace(render_trace(events)) == events
+
+    def test_parse_skips_comments_and_blank_lines(self):
+        text = "# header\n\n1.000|A|65001|10.0.0.0/24\n"
+        events = parse_trace(text)
+        assert events == [TraceEvent(1.0, 65001, "10.0.0.0/24", True)]
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceFormatError):
+            parse_trace("1.0|X|65001|10.0.0.0/24")
+        with pytest.raises(TraceFormatError):
+            parse_trace("not-a-trace")
+        with pytest.raises(TraceFormatError):
+            parse_trace("abc|A|65001|10.0.0.0/24")

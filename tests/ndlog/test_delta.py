@@ -1,0 +1,41 @@
+"""Tests for the semi-naive delta-rule rewrite."""
+
+from repro.ndlog.delta import (
+    delta_rules_by_relation,
+    delta_rules_for_program,
+    delta_rules_for_rule,
+)
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.protocols import mincost
+
+
+class TestDeltaRules:
+    def test_one_delta_rule_per_positive_literal(self):
+        rule = parse_rule("r p(@S, D) :- a(@S, Z), b(@S, Z), !c(@S, Z).")
+        deltas = delta_rules_for_rule(rule)
+        assert len(deltas) == 2  # the negated literal does not get a delta position
+        assert [d.delta_relation for d in deltas] == ["a", "b"]
+
+    def test_other_literals_exclude_delta_position(self):
+        rule = parse_rule("r p(@S, D) :- a(@S, Z), b(@Z, D).")
+        deltas = delta_rules_for_rule(rule)
+        assert [lit.atom.relation for lit in deltas[0].other_literals()] == ["b"]
+        assert [lit.atom.relation for lit in deltas[1].other_literals()] == ["a"]
+
+    def test_program_delta_count(self):
+        program = parse_program(
+            "r1 p(@S, D) :- a(@S, D). r2 q(@S, D) :- a(@S, Z), p(@Z, D).", name="t"
+        )
+        assert len(delta_rules_for_program(program)) == 3
+
+    def test_delta_index_by_relation(self):
+        program = mincost.program()
+        index = delta_rules_by_relation(program)
+        assert "link" in index
+        assert "minCost" in index
+        # link appears in mc1 and mc2, so it triggers two delta rules
+        assert len(index["link"]) == 2
+
+    def test_str_rendering(self):
+        rule = parse_rule("r p(@S, D) :- a(@S, D).")
+        assert "a" in str(delta_rules_for_rule(rule)[0])

@@ -1,0 +1,83 @@
+"""Tests for the builtin f_* function library."""
+
+import pytest
+
+from repro.errors import UnknownFunctionError
+from repro.ndlog import functions
+from repro.ndlog.functions import FunctionRegistry, default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+class TestListFunctions:
+    def test_make_list_and_init(self):
+        assert functions.f_make_list(1, 2, 3) == (1, 2, 3)
+        assert functions.f_init("a", "b") == ("a", "b")
+
+    def test_concat_and_prepend_append(self):
+        assert functions.f_concat((1, 2), (3,)) == (1, 2, 3)
+        assert functions.f_concat((1, 2), 3) == (1, 2, 3)
+        assert functions.f_prepend(0, (1, 2)) == (0, 1, 2)
+        assert functions.f_append((1, 2), 3) == (1, 2, 3)
+
+    def test_member_and_size(self):
+        assert functions.f_member((1, 2, 3), 2) == 1
+        assert functions.f_member((1, 2, 3), 9) == 0
+        assert functions.f_size((1, 2, 3)) == 3
+
+    def test_first_last_reverse(self):
+        assert functions.f_first(("a", "b", "c")) == "a"
+        assert functions.f_last(("a", "b", "c")) == "c"
+        assert functions.f_reverse((1, 2, 3)) == (3, 2, 1)
+
+
+class TestIsExtend:
+    """The f_isExtend function from the paper's maybe rule br1."""
+
+    def test_prepend_extension_detected(self):
+        assert functions.f_is_extend(("as2", "as1"), ("as1",), "as2") == 1
+
+    def test_append_extension_detected(self):
+        assert functions.f_is_extend(("as1", "as2"), ("as1",), "as2") == 1
+
+    def test_wrong_node_rejected(self):
+        assert functions.f_is_extend(("as3", "as1"), ("as1",), "as2") == 0
+
+    def test_wrong_length_rejected(self):
+        assert functions.f_is_extend(("as2", "as9", "as1"), ("as1",), "as2") == 0
+        assert functions.f_is_extend(("as1",), ("as1",), "as2") == 0
+
+
+class TestHashing:
+    def test_sha1_is_deterministic_and_distinct(self):
+        assert functions.f_sha1("a", 1) == functions.f_sha1("a", 1)
+        assert functions.f_sha1("a", 1) != functions.f_sha1("a", 2)
+
+
+class TestRegistry:
+    def test_default_registry_contains_paper_spellings(self, registry):
+        for name in ("f_isExtend", "f_member", "f_concat", "f_makeList", "f_sha1"):
+            assert registry.registered(name)
+
+    def test_call_dispatch(self, registry):
+        assert registry.call("f_member", [(1, 2), 1]) == 1
+
+    def test_unknown_function_raises_with_helpful_message(self, registry):
+        with pytest.raises(UnknownFunctionError) as excinfo:
+            registry.call("f_nonexistent", [])
+        assert "f_nonexistent" in str(excinfo.value)
+
+    def test_copy_is_independent(self, registry):
+        clone = registry.copy()
+        clone.register("f_custom", lambda: 42)
+        assert clone.registered("f_custom")
+        assert not registry.registered("f_custom")
+
+    def test_register_overrides(self):
+        registry = FunctionRegistry()
+        registry.register("f_x", lambda: 1)
+        registry.register("f_x", lambda: 2)
+        assert registry.call("f_x", []) == 2

@@ -1,0 +1,93 @@
+"""Tests for the NDlog tokenizer."""
+
+import pytest
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog import lexer
+
+
+def kinds(text):
+    return [token.kind for token in lexer.tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in lexer.tokenize(text)]
+
+
+class TestTokenKinds:
+    def test_identifier_and_variable_distinction(self):
+        tokens = lexer.tokenize("link Link _link")
+        assert tokens[0].kind == lexer.IDENT
+        assert tokens[1].kind == lexer.VARIABLE
+        assert tokens[2].kind == lexer.VARIABLE  # leading underscore counts as a variable
+
+    def test_numbers_integer_and_float(self):
+        tokens = lexer.tokenize("42 3.5")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.5 and isinstance(tokens[1].value, float)
+
+    def test_number_followed_by_clause_period(self):
+        # "1." at the end of a clause must tokenize as the integer 1 plus '.'.
+        tokens = lexer.tokenize("foo(1).")
+        assert [t.value for t in tokens[:-1]] == ["foo", "(", 1, ")", "."]
+
+    def test_string_literals_double_and_single_quotes(self):
+        tokens = lexer.tokenize('"hello" \'world\'')
+        assert tokens[0].kind == lexer.STRING and tokens[0].value == "hello"
+        assert tokens[1].kind == lexer.STRING and tokens[1].value == "world"
+
+    def test_multi_character_symbols(self):
+        tokens = lexer.tokenize(":- ?- := <= >= == !=")
+        assert [t.value for t in tokens[:-1]] == [":-", "?-", ":=", "<=", ">=", "==", "!="]
+
+    def test_location_specifier_symbol(self):
+        assert "@" in values("p(@X)")
+
+    def test_eof_token_is_last(self):
+        tokens = lexer.tokenize("x")
+        assert tokens[-1].kind == lexer.EOF
+
+
+class TestCommentsAndWhitespace:
+    def test_double_slash_comments_are_skipped(self):
+        assert values("a // comment here\nb")[:2] == ["a", "b"]
+
+    def test_hash_comments_are_skipped(self):
+        assert values("a # comment\nb")[:2] == ["a", "b"]
+
+    def test_line_and_column_positions(self):
+        tokens = lexer.tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestLexerErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(NDlogSyntaxError):
+            lexer.tokenize('"unterminated')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(NDlogSyntaxError):
+            lexer.tokenize("p(x) & q(y)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(NDlogSyntaxError) as excinfo:
+            lexer.tokenize("abc\n  $")
+        assert excinfo.value.line == 2
+
+
+class TestClauseSplitting:
+    def test_clauses_split_on_period(self):
+        tokens = lexer.tokenize("a(1). b(2).")
+        clauses = list(lexer.iter_clauses(tokens))
+        assert len(clauses) == 2
+        assert clauses[0][0].value == "a"
+        assert clauses[1][0].value == "b"
+
+    def test_missing_terminating_period_raises(self):
+        tokens = lexer.tokenize("a(1). b(2)")
+        with pytest.raises(NDlogSyntaxError):
+            list(lexer.iter_clauses(tokens))
+
+    def test_empty_input_yields_no_clauses(self):
+        assert list(lexer.iter_clauses(lexer.tokenize("   \n// nothing\n"))) == []

@@ -1,0 +1,78 @@
+"""Tests for the localization rewrite."""
+
+import pytest
+
+from repro.errors import NDlogValidationError
+from repro.ndlog.localization import (
+    INTERMEDIATE_PREFIX,
+    is_intermediate_relation,
+    localize_program,
+    localize_rule,
+)
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.protocols import mincost, path_vector
+
+
+class TestLocalizeRule:
+    def test_local_rule_unchanged(self):
+        rule = parse_rule("r p(@S, D) :- a(@S, D), b(@S, D).")
+        assert localize_rule(rule) == [rule]
+
+    def test_two_location_rule_split_into_two_local_rules(self):
+        rule = parse_rule("mc2 path(@S, D, C) :- link(@S, Z, C1), minCost(@Z, D, C2), C := C1 + C2.")
+        rewritten = localize_rule(rule)
+        assert len(rewritten) == 2
+        shipping, remainder = rewritten
+        # The shipping rule derives an intermediate relation located at Z.
+        assert is_intermediate_relation(shipping.head.relation)
+        assert shipping.is_local()
+        assert str(shipping.head.location_term) == "Z"
+        # The remainder is local at Z and keeps the original rule name.
+        assert remainder.is_local()
+        assert remainder.name == "mc2"
+        assert remainder.head.relation == "path"
+
+    def test_shipping_rule_carries_needed_variables_only(self):
+        rule = parse_rule("mc2 path(@S, D, C) :- link(@S, Z, C1), minCost(@Z, D, C2), C := C1 + C2.")
+        shipping = localize_rule(rule)[0]
+        carried = {str(term) for term in shipping.head.terms}
+        assert "Z" in carried and "S" in carried and "C1" in carried
+        assert "D" not in carried  # D is only bound at the remote location
+
+    def test_three_location_rule_localizes_recursively(self):
+        rule = parse_rule(
+            "r3 out(@S, D, X) :- a(@S, M), b(@M, Z), c(@Z, D, X)."
+        )
+        rewritten = localize_rule(rule)
+        assert len(rewritten) == 3
+        assert all(r.is_local() for r in rewritten)
+        # the final rule keeps the original name
+        assert rewritten[-1].name == "r3"
+
+    def test_unlocalizable_rule_raises(self):
+        rule = parse_rule("r p(@S, D) :- a(@S, D), b(@Z, D).")
+        with pytest.raises(NDlogValidationError, match="link-restricted"):
+            localize_rule(rule)
+
+
+class TestLocalizeProgram:
+    def test_every_rule_local_after_rewrite(self):
+        for module in (mincost, path_vector):
+            localized = localize_program(module.program())
+            assert all(rule.is_local() for rule in localized.rules)
+
+    def test_materialize_declarations_preserved(self):
+        localized = localize_program(mincost.program())
+        assert "link" in localized.materialized
+
+    def test_intermediate_relations_are_marked(self):
+        localized = localize_program(mincost.program())
+        intermediates = [
+            relation for relation in localized.head_relations() if is_intermediate_relation(relation)
+        ]
+        assert intermediates
+        assert all(relation.startswith(INTERMEDIATE_PREFIX) for relation in intermediates)
+
+    def test_local_program_unchanged_in_size(self):
+        program = parse_program("r p(@S, D) :- a(@S, D), b(@S, D).", name="local")
+        assert len(localize_program(program).rules) == 1

@@ -1,0 +1,179 @@
+"""Tests for the NDlog parser."""
+
+import pytest
+
+from repro.errors import NDlogSyntaxError
+from repro.ndlog.ast import (
+    Aggregate,
+    Assignment,
+    Condition,
+    Constant,
+    Expression,
+    FunctionCall,
+    Literal,
+    Variable,
+)
+from repro.ndlog.parser import parse_program, parse_rule
+
+
+class TestRuleParsing:
+    def test_simple_rule_with_label(self):
+        rule = parse_rule("r1 path(@S, D, C) :- link(@S, D, C).")
+        assert rule.name == "r1"
+        assert rule.head.relation == "path"
+        assert rule.head.location_index == 0
+        assert len(rule.positive_literals) == 1
+        assert rule.positive_literals[0].atom.relation == "link"
+
+    def test_rule_without_label_gets_synthetic_name(self):
+        rule = parse_rule("path(@S, D, C) :- link(@S, D, C).")
+        assert rule.name  # synthetic but non-empty
+
+    def test_maybe_rule_detection(self):
+        rule = parse_rule(
+            "br1 outputRoute(@AS, R2, P, Route2) ?- inputRoute(@AS, R1, P, Route1), "
+            "f_isExtend(Route2, Route1, AS) == 1."
+        )
+        assert rule.is_maybe
+        assert len(rule.conditions) == 1
+
+    def test_paper_maybe_rule_with_single_equals(self):
+        # The paper writes "f_isExtend(...)=1" with a single '='.
+        rule = parse_rule(
+            "br1 outputRoute(@AS, R2, P, Route2) ?- inputRoute(@AS, R1, P, Route1), "
+            "f_isExtend(Route2, Route1, AS) = 1."
+        )
+        condition = rule.conditions[0]
+        assert isinstance(condition.expression, Expression)
+        assert condition.expression.op == "=="
+
+    def test_negated_literal(self):
+        rule = parse_rule("r x(@A, B) :- y(@A, B), !z(@A, B).")
+        assert len(rule.negative_literals) == 1
+        assert rule.negative_literals[0].atom.relation == "z"
+
+    def test_assignment_and_arithmetic(self):
+        rule = parse_rule("r p(@S, D, C) :- l(@S, D, C1), C := C1 + 2 * 3.")
+        assignment = rule.assignments[0]
+        assert assignment.variable == "C"
+        expression = assignment.expression
+        assert isinstance(expression, Expression) and expression.op == "+"
+        # multiplication binds tighter than addition
+        assert isinstance(expression.right, Expression) and expression.right.op == "*"
+
+    def test_aggregate_in_head(self):
+        rule = parse_rule("r3 minCost(@S, D, min<C>) :- path(@S, D, C).")
+        aggregate = rule.aggregate
+        assert aggregate is not None
+        assert aggregate.func == "min"
+        assert aggregate.variable == "C"
+
+    def test_count_star_aggregate(self):
+        rule = parse_rule("r c(@S, count<*>) :- p(@S, X).")
+        assert rule.aggregate.func == "count"
+        assert rule.aggregate.variable is None
+
+    def test_function_call_argument(self):
+        rule = parse_rule("r p(@S, D, P) :- l(@S, D), P := f_makeList(S, D).")
+        assert isinstance(rule.assignments[0].expression, FunctionCall)
+
+    def test_list_literal_of_constants_becomes_tuple(self):
+        rule = parse_rule('r p(@S, L) :- q(@S), L := [1, 2, "x"].')
+        value = rule.assignments[0].expression
+        assert isinstance(value, Constant)
+        assert value.value == (1, 2, "x")
+
+    def test_list_with_variables_becomes_function_call(self):
+        rule = parse_rule("r p(@S, L) :- q(@S, X), L := [S, X].")
+        value = rule.assignments[0].expression
+        assert isinstance(value, FunctionCall)
+        assert value.name == "f_makeList"
+
+    def test_comparison_condition(self):
+        rule = parse_rule("r p(@S, C) :- q(@S, C), C < 16.")
+        assert len(rule.conditions) == 1
+
+    def test_string_constant_argument(self):
+        rule = parse_rule('r p(@S, "hello") :- q(@S).')
+        assert rule.head.terms[1] == Constant("hello")
+
+    def test_negative_number(self):
+        rule = parse_rule("r p(@S, C) :- q(@S), C := -5.")
+        # -5 is parsed as 0 - 5 and still evaluates to -5
+        expression = rule.assignments[0].expression
+        assert isinstance(expression, Expression)
+
+    def test_location_specifier_on_non_first_argument(self):
+        rule = parse_rule("r p(A, @B) :- q(A, @B).")
+        assert rule.head.location_index == 1
+
+    def test_round_trip_str_reparses(self):
+        text = "mc2 path(@S, D, C) :- link(@S, Z, C1), minCost(@Z, D, C2), C := C1 + C2."
+        rule = parse_rule(text)
+        reparsed = parse_rule(str(rule))
+        assert reparsed.head == rule.head
+        assert reparsed.body == rule.body
+
+
+class TestParserErrors:
+    def test_missing_body_separator(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_rule("r p(@S) q(@S).")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_rule("r p(@S :- q(@S).")
+
+    def test_two_location_specifiers_rejected(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_rule("r p(@S, @D) :- q(@S, D).")
+
+    def test_materialize_passed_to_parse_rule_rejected(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_rule("materialize(link, infinity, infinity, keys(1,2)).")
+
+    def test_multiple_rules_passed_to_parse_rule_rejected(self):
+        with pytest.raises(NDlogSyntaxError):
+            parse_rule("r p(@S) :- q(@S). r2 p(@S) :- z(@S).")
+
+
+class TestProgramParsing:
+    PROGRAM = """
+    materialize(link, infinity, infinity, keys(1, 2)).
+    materialize(path, 120, 1000, keys(1, 2, 3)).
+
+    r1 path(@S, D, C) :- link(@S, D, C).
+    r2 path(@S, D, C) :- link(@S, Z, C1), path(@Z, D, C2), C := C1 + C2.
+    """
+
+    def test_program_rules_and_materialize(self):
+        program = parse_program(self.PROGRAM, name="test")
+        assert len(program.rules) == 2
+        assert set(program.materialized) == {"link", "path"}
+        assert program.materialized["link"].keys == (1, 2)
+        assert program.materialized["link"].lifetime is None  # infinity
+        assert program.materialized["path"].lifetime == 120
+        assert program.materialized["path"].max_size == 1000
+
+    def test_base_and_derived_relation_classification(self):
+        program = parse_program(self.PROGRAM, name="test")
+        assert program.head_relations() == {"path"}
+        assert "link" in program.base_relations()
+
+    def test_rule_lookup_by_name(self):
+        program = parse_program(self.PROGRAM, name="test")
+        assert program.rule_named("r2").head.relation == "path"
+        with pytest.raises(KeyError):
+            program.rule_named("missing")
+
+    def test_unlabeled_rules_get_program_scoped_names(self):
+        program = parse_program("p(@X) :- q(@X). p(@X) :- r(@X).", name="prog")
+        names = [rule.name for rule in program.rules]
+        assert len(set(names)) == 2
+        assert all(name.startswith("prog_r") for name in names)
+
+    def test_program_str_round_trip(self):
+        program = parse_program(self.PROGRAM, name="test")
+        reparsed = parse_program(str(program), name="test")
+        assert len(reparsed.rules) == len(program.rules)
+        assert set(reparsed.materialized) == set(program.materialized)

@@ -1,0 +1,112 @@
+"""Tests for program validation / safety checks."""
+
+import pytest
+
+from repro.errors import NDlogValidationError
+from repro.ndlog.parser import parse_program, parse_rule
+from repro.ndlog.validation import validate_program, validate_rule
+from repro.protocols import distance_vector, dsr, mincost, path_vector
+from repro.legacy.proxy import LEGACY_PROGRAM_SOURCE
+
+
+class TestRuleValidation:
+    def test_valid_rule_produces_no_warnings(self):
+        rule = parse_rule("r p(@S, D, C) :- l(@S, D, C).")
+        assert validate_rule(rule) == []
+
+    def test_missing_location_specifier_rejected(self):
+        rule = parse_rule("r p(@S, D) :- l(S, D).")
+        with pytest.raises(NDlogValidationError, match="location specifier"):
+            validate_rule(rule)
+
+    def test_unbound_head_variable_rejected(self):
+        rule = parse_rule("r p(@S, D, X) :- l(@S, D).")
+        with pytest.raises(NDlogValidationError, match="head variables"):
+            validate_rule(rule)
+
+    def test_unbound_head_variable_allowed_in_maybe_rule(self):
+        rule = parse_rule("r p(@S, D, X) ?- l(@S, D).")
+        warnings = validate_rule(rule)
+        assert warnings  # reported, but not fatal
+
+    def test_unbound_condition_variable_rejected(self):
+        rule = parse_rule("r p(@S, D) :- l(@S, D), X > 3.")
+        with pytest.raises(NDlogValidationError, match="condition"):
+            validate_rule(rule)
+
+    def test_unbound_assignment_variable_rejected(self):
+        rule = parse_rule("r p(@S, D, C) :- l(@S, D), C := X + 1.")
+        with pytest.raises(NDlogValidationError, match="assignment"):
+            validate_rule(rule)
+
+    def test_assignment_chains_are_allowed(self):
+        rule = parse_rule("r p(@S, D, C2) :- l(@S, D, C), C1 := C + 1, C2 := C1 * 2.")
+        assert validate_rule(rule) == []
+
+    def test_unbound_negated_atom_variable_rejected(self):
+        rule = parse_rule("r p(@S, D) :- l(@S, D), !q(@S, X).")
+        with pytest.raises(NDlogValidationError, match="negated"):
+            validate_rule(rule)
+
+    def test_aggregate_only_in_head(self):
+        rule = parse_rule("r p(@S, min<C>) :- l(@S, C).")
+        assert validate_rule(rule) == []
+        # The surface syntax already rejects aggregates in body atoms, but a
+        # programmatically-built rule must be caught by validation too.
+        from repro.ndlog.ast import Aggregate, Atom, Literal, Rule, Variable
+
+        bad = Rule(
+            head=Atom("p", (Variable("S"), Variable("C")), 0),
+            body=(Literal(Atom("l", (Variable("S"), Aggregate("min", "C")), 0)),),
+            name="bad",
+        )
+        with pytest.raises(NDlogValidationError):
+            validate_rule(bad)
+
+    def test_unknown_builtin_function_rejected(self):
+        rule = parse_rule("r p(@S, C) :- l(@S, C1), C := f_wat(C1).")
+        with pytest.raises(NDlogValidationError, match="f_wat"):
+            validate_rule(rule)
+
+    def test_rule_without_body_atoms_rejected(self):
+        rule = parse_rule("r p(@S, C) :- C := 1.")
+        with pytest.raises(NDlogValidationError, match="no body atoms"):
+            validate_rule(rule)
+
+    def test_constant_location_produces_warning(self):
+        rule = parse_rule('r p(@S, D) :- l(@"n0", D), s(@S, D).')
+        warnings = validate_rule(rule)
+        assert any("constant location" in warning for warning in warnings)
+
+
+class TestProgramValidation:
+    def test_empty_program_rejected(self):
+        from repro.ndlog.ast import Program
+
+        with pytest.raises(NDlogValidationError):
+            validate_program(Program(name="empty"))
+
+    def test_duplicate_rule_names_rejected(self):
+        program = parse_program("r1 p(@S) :- q(@S). r1 p(@S) :- z(@S).", name="dup")
+        with pytest.raises(NDlogValidationError, match="duplicate"):
+            validate_program(program)
+
+    def test_inconsistent_arity_rejected(self):
+        program = parse_program("r1 p(@S, D) :- q(@S, D). r2 p(@S) :- q(@S, D).", name="arity")
+        with pytest.raises(NDlogValidationError, match="arities"):
+            validate_program(program)
+
+    def test_non_link_restricted_rule_rejected(self):
+        # Z appears only at the remote location; nothing at S binds it.
+        program = parse_program("r1 p(@S, D) :- a(@S, D), b(@Z, D).", name="nolink")
+        with pytest.raises(NDlogValidationError, match="link-restricted"):
+            validate_program(program)
+
+    def test_all_shipped_protocols_validate(self):
+        for module in (mincost, path_vector, distance_vector, dsr):
+            assert isinstance(validate_program(module.program()), list)
+
+    def test_legacy_program_validates_with_maybe_warnings(self):
+        program = parse_program(LEGACY_PROGRAM_SOURCE, name="legacy")
+        warnings = validate_program(program)
+        assert any("maybe" in warning for warning in warnings)

@@ -1,0 +1,66 @@
+"""Property-based tests for the NDlog builtin function library."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ndlog import functions
+
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+)
+paths = st.lists(scalars, min_size=0, max_size=6).map(tuple)
+
+
+class TestListProperties:
+    @given(paths, paths)
+    def test_concat_length_is_sum_of_lengths(self, left, right):
+        assert functions.f_size(functions.f_concat(left, right)) == len(left) + len(right)
+
+    @given(paths, scalars)
+    def test_member_after_append(self, path, item):
+        assert functions.f_member(functions.f_append(path, item), item) == 1
+
+    @given(paths, scalars)
+    def test_prepend_makes_item_first(self, path, item):
+        extended = functions.f_prepend(item, path)
+        assert functions.f_first(extended) == item
+        assert functions.f_size(extended) == len(path) + 1
+
+    @given(paths)
+    def test_reverse_is_involutive(self, path):
+        assert functions.f_reverse(functions.f_reverse(path)) == path
+
+    @given(st.lists(scalars, min_size=1, max_size=6).map(tuple))
+    def test_first_and_last_are_members(self, path):
+        assert functions.f_member(path, functions.f_first(path)) == 1
+        assert functions.f_member(path, functions.f_last(path)) == 1
+
+
+class TestIsExtendProperties:
+    @given(st.lists(scalars, min_size=1, max_size=5).map(tuple), scalars)
+    def test_prepending_always_recognised(self, route, node):
+        extended = functions.f_prepend(node, route)
+        assert functions.f_is_extend(extended, route, node) == 1
+
+    @given(st.lists(scalars, min_size=1, max_size=5).map(tuple), scalars)
+    def test_appending_always_recognised(self, route, node):
+        extended = functions.f_append(route, node)
+        assert functions.f_is_extend(extended, route, node) == 1
+
+    @given(paths, paths, scalars)
+    def test_extension_implies_length_difference_of_one(self, after, before, node):
+        if functions.f_is_extend(after, before, node) == 1:
+            assert len(after) == len(before) + 1
+            assert node in after
+
+
+class TestHashProperties:
+    @given(st.lists(scalars, min_size=1, max_size=4))
+    def test_sha1_deterministic(self, values):
+        assert functions.f_sha1(*values) == functions.f_sha1(*values)
+
+    @given(st.lists(scalars, min_size=1, max_size=4), st.lists(scalars, min_size=1, max_size=4))
+    def test_sha1_distinguishes_different_inputs(self, a, b):
+        if a != b:
+            assert functions.f_sha1(*a) != functions.f_sha1(*b)

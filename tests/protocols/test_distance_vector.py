@@ -1,0 +1,43 @@
+"""Tests for the distance-vector protocol."""
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import distance_vector
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "net",
+        [topology.line(5), topology.ring(6), topology.grid(3, 3)],
+        ids=["line5", "ring6", "grid3x3"],
+    )
+    def test_hop_counts_match_bfs_reference(self, net):
+        runtime = distance_vector.setup(net)
+        assert distance_vector.check_against_reference(runtime, net)
+
+    def test_hop_counts_ignore_link_costs(self):
+        net = topology.from_edges([("a", "b", 100.0), ("a", "c", 1.0), ("c", "b", 1.0)])
+        runtime = distance_vector.setup(net)
+        hops = {(s, d): h for (s, d, h) in runtime.state("bestHop")}
+        assert hops[("a", "b")] == 1  # direct link, despite its high cost
+
+    def test_ttl_bound_limits_propagation(self):
+        # A chain longer than MAX_HOPS: far-apart pairs must not appear.
+        net = topology.line(distance_vector.MAX_HOPS + 3)
+        runtime = distance_vector.setup(net)
+        assert distance_vector.check_against_reference(runtime, net)
+        hops = {(s, d) for (s, d, _h) in runtime.state("bestHop")}
+        assert ("n0", f"n{distance_vector.MAX_HOPS + 2}") not in hops
+        assert ("n0", "n1") in hops
+
+
+class TestDynamics:
+    def test_failure_and_recovery(self, ring5):
+        runtime = distance_vector.setup(ring5)
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        assert distance_vector.check_against_reference(runtime, ring5)
+        runtime.add_link("n0", "n1", 1.0)
+        runtime.run_to_quiescence()
+        assert distance_vector.check_against_reference(runtime, ring5)

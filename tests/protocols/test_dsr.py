@@ -1,0 +1,78 @@
+"""Tests for the DSR (dynamic source routing) protocol, including mobility."""
+
+import pytest
+
+from repro.engine import topology
+from repro.engine.mobility import WaypointMobilityModel
+from repro.engine.runtime import NetTrailsRuntime
+from repro.protocols import dsr
+
+
+class TestRouteDiscovery:
+    def test_no_routes_before_request(self, ring5):
+        runtime = dsr.setup(ring5)
+        assert runtime.state("sourceRoute") == []
+
+    def test_request_discovers_all_simple_paths(self, ring5):
+        runtime = dsr.setup(ring5)
+        dsr.request_route(runtime, "n0", "n2")
+        discovered = set(dsr.discovered_routes(runtime, "n0", "n2"))
+        assert discovered == dsr.reference_simple_paths(ring5, "n0", "n2")
+
+    def test_requests_are_per_pair(self, ring5):
+        runtime = dsr.setup(ring5)
+        dsr.request_route(runtime, "n0", "n2")
+        assert dsr.discovered_routes(runtime, "n1", "n3") == []
+
+    def test_route_count_aggregate(self, ring5):
+        runtime = dsr.setup(ring5)
+        dsr.request_route(runtime, "n0", "n2")
+        counts = {(s, d): c for (s, d, c) in runtime.state("routeCount")}
+        assert counts[("n0", "n2")] == 2  # both directions around the ring
+
+    def test_unreachable_destination_discovers_nothing(self):
+        net = topology.Topology(name="islands")
+        net.add_edge("a", "b", 1.0)
+        net.add_edge("c", "d", 1.0)
+        runtime = dsr.setup(net)
+        dsr.request_route(runtime, "a", "c")
+        assert dsr.discovered_routes(runtime, "a", "c") == []
+
+
+class TestMobility:
+    def test_routes_follow_topology_changes(self, line4):
+        runtime = dsr.setup(line4)
+        dsr.request_route(runtime, "n0", "n3")
+        assert dsr.discovered_routes(runtime, "n0", "n3") == [("n0", "n1", "n2", "n3")]
+        # the middle link breaks: the only route disappears
+        runtime.remove_link("n1", "n2")
+        runtime.run_to_quiescence()
+        assert dsr.discovered_routes(runtime, "n0", "n3") == []
+        # a new link appears: a fresh route is discovered incrementally
+        runtime.add_link("n1", "n3", 1.0)
+        runtime.run_to_quiescence()
+        assert dsr.discovered_routes(runtime, "n0", "n3") == [("n0", "n1", "n3")]
+
+    def test_waypoint_mobility_trace_keeps_routes_consistent(self):
+        names = [f"m{i}" for i in range(5)]
+        model = WaypointMobilityModel(names, field_size=60.0, radio_range=35.0, seed=4)
+        events = list(model.events(duration=10.0, dt=2.0))
+        net = topology.Topology(name="manet")
+        for name in names:
+            net.add_node(name)
+        runtime = NetTrailsRuntime(dsr.program(), net, provenance=True)
+        runtime.seed_links(run=True)  # no edges yet; establishes the link relation
+        runtime.insert("request", ["m0", "m3"])
+        current = set()
+        for event in events:
+            if event.kind == "up":
+                runtime.add_link(event.source, event.target, 1.0)
+                current.add((event.source, event.target))
+            else:
+                runtime.remove_link(event.source, event.target)
+                current.discard((event.source, event.target))
+            runtime.run_to_quiescence()
+            # every discovered route must only use currently-existing links
+            for route in dsr.discovered_routes(runtime, "m0", "m3"):
+                for a, b in zip(route, route[1:]):
+                    assert runtime.topology.has_edge(a, b)

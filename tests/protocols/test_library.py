@@ -1,0 +1,33 @@
+"""Tests for the protocol registry and conciseness metrics."""
+
+import pytest
+
+from repro.protocols import library
+
+
+class TestRegistry:
+    def test_all_protocols_registered(self):
+        assert library.protocol_names() == ["distance_vector", "dsr", "mincost", "path_vector"]
+
+    def test_programs_resolve(self):
+        for name in library.protocol_names():
+            assert library.protocol_program(name).rules
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            library.protocol_program("ospf")
+
+
+class TestConcisenessMetrics:
+    def test_rule_counts_are_small(self):
+        for name in library.protocol_names():
+            assert 3 <= library.ndlog_rule_count(name) <= 6
+
+    def test_line_counts_are_small(self):
+        for name in library.protocol_names():
+            assert library.ndlog_line_count(name) <= 20
+
+    def test_line_count_excludes_comments_and_blanks(self):
+        count = library.ndlog_line_count("mincost")
+        raw_lines = len(library.PROTOCOLS["mincost"].SOURCE.splitlines())
+        assert count < raw_lines

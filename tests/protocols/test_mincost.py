@@ -1,0 +1,84 @@
+"""Tests for the MINCOST protocol (the paper's running example)."""
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import mincost
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "net",
+        [
+            topology.line(4),
+            topology.ring(6),
+            topology.star(5),
+            topology.grid(3, 3),
+            topology.random_connected(10, edge_probability=0.3, seed=11),
+            topology.random_connected(10, edge_probability=0.3, seed=12, max_cost=4),
+        ],
+        ids=["line4", "ring6", "star5", "grid3x3", "random10a", "random10b"],
+    )
+    def test_matches_dijkstra_reference(self, net):
+        runtime = mincost.setup(net)
+        assert mincost.check_against_reference(runtime, net)
+
+    def test_mincost_has_one_row_per_reachable_pair(self, ring5):
+        runtime = mincost.setup(ring5)
+        assert len(runtime.state("minCost")) == 5 * 4
+
+    def test_weighted_links_respected(self):
+        net = topology.from_edges([("a", "b", 10.0), ("a", "c", 1.0), ("c", "b", 2.0)])
+        runtime = mincost.setup(net)
+        costs = {(s, d): c for (s, d, c) in runtime.state("minCost")}
+        assert costs[("a", "b")] == 3.0
+
+
+class TestDynamics:
+    def test_link_insertion_improves_costs(self, ring5):
+        runtime = mincost.setup(ring5)
+        runtime.add_link("n0", "n2", 0.5)
+        runtime.run_to_quiescence()
+        assert mincost.check_against_reference(runtime, ring5)
+        costs = {(s, d): c for (s, d, c) in runtime.state("minCost")}
+        assert costs[("n0", "n2")] == 0.5
+
+    def test_link_deletion_degrades_costs(self, ring5):
+        runtime = mincost.setup(ring5)
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        assert mincost.check_against_reference(runtime, ring5)
+        costs = {(s, d): c for (s, d, c) in runtime.state("minCost")}
+        assert costs[("n0", "n1")] == 4.0  # the long way round the ring
+
+    def test_partition_removes_cross_partition_costs(self):
+        net = topology.line(4)
+        runtime = mincost.setup(net)
+        runtime.remove_link("n1", "n2")
+        runtime.run_to_quiescence()
+        assert mincost.check_against_reference(runtime, net)
+        pairs = {(s, d) for (s, d, _c) in runtime.state("minCost")}
+        assert ("n0", "n3") not in pairs
+        assert ("n0", "n1") in pairs and ("n2", "n3") in pairs
+
+    def test_sequence_of_changes_stays_consistent(self, small_random):
+        runtime = mincost.setup(small_random)
+        edges = sorted(small_random.edges)[:3]
+        for a, b in edges:
+            runtime.remove_link(a, b)
+            runtime.run_to_quiescence()
+            assert mincost.check_against_reference(runtime, small_random)
+        for a, b in edges:
+            runtime.add_link(a, b, 2.0)
+            runtime.run_to_quiescence()
+            assert mincost.check_against_reference(runtime, small_random)
+
+
+class TestProgramShape:
+    def test_program_parses_with_three_rules(self):
+        program = mincost.program()
+        assert len(program.rules) == 3
+        assert program.rule_named("mc3").has_aggregate
+
+    def test_max_cost_guard_present(self):
+        assert str(mincost.MAX_COST) in mincost.SOURCE

@@ -1,0 +1,61 @@
+"""Tests for the path-vector protocol."""
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import path_vector
+
+
+class TestConvergence:
+    @pytest.mark.parametrize(
+        "net",
+        [
+            topology.line(4),
+            topology.ring(5),
+            topology.random_connected(7, edge_probability=0.35, seed=2),
+        ],
+        ids=["line4", "ring5", "random7"],
+    )
+    def test_best_costs_match_reference(self, net):
+        runtime = path_vector.setup(net)
+        assert path_vector.check_against_reference(runtime, net)
+
+    def test_best_paths_are_consistent_with_costs(self, line4):
+        runtime = path_vector.setup(line4)
+        costs = {(s, d): c for (s, d, c) in runtime.state("bestPathCost")}
+        for (source, destination), path in path_vector.best_paths(runtime).items():
+            assert path[0] == source and path[-1] == destination
+            hop_cost = sum(
+                line4.cost(a, b) for a, b in zip(path, path[1:])
+            )
+            assert hop_cost == costs[(source, destination)]
+
+    def test_paths_are_loop_free(self, ring5):
+        runtime = path_vector.setup(ring5)
+        for _source, _destination, path, _cost in runtime.state("bestPath"):
+            assert len(set(path)) == len(path)
+
+    def test_paths_follow_existing_links(self, small_random):
+        runtime = path_vector.setup(small_random)
+        for _s, _d, path, _cost in runtime.state("bestPath"):
+            for a, b in zip(path, path[1:]):
+                assert small_random.has_edge(a, b)
+
+
+class TestDynamics:
+    def test_reroute_after_link_failure(self, ring5):
+        runtime = path_vector.setup(ring5)
+        before = path_vector.best_paths(runtime)
+        assert before[("n0", "n1")] == ("n0", "n1")
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        assert path_vector.check_against_reference(runtime, ring5)
+        after = path_vector.best_paths(runtime)
+        assert after[("n0", "n1")] == ("n0", "n4", "n3", "n2", "n1")
+
+    def test_better_link_adoption(self, line4):
+        runtime = path_vector.setup(line4)
+        runtime.add_link("n0", "n3", 1.0)
+        runtime.run_to_quiescence()
+        assert path_vector.check_against_reference(runtime, line4)
+        assert path_vector.best_paths(runtime)[("n0", "n3")] == ("n0", "n3")

@@ -1,0 +1,146 @@
+"""Tests for the visualization substitutes (hypertree, provenance and topology views)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.core.keys import vid_for
+from repro.engine import topology
+from repro.engine.tuples import Fact
+from repro.protocols import mincost
+from repro.viz import (
+    HypertreeLayout,
+    exploration_views,
+    provenance_to_dot,
+    provenance_to_json,
+    refocus,
+    render_ascii_tree,
+    topology_summary,
+    topology_to_dot,
+)
+from repro.viz.hypertree import transition_positions
+
+
+@pytest.fixture
+def graph_and_root(mincost_ring):
+    graph = mincost_ring.provenance.build_graph()
+    root = vid_for(Fact.make("minCost", ["n0", "n2", 2.0]))
+    return graph, root
+
+
+class TestHypertree:
+    def test_all_vertices_inside_unit_disk(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        assert layout[root].radius == 0.0
+        assert all(placed.radius < 1.0 for placed in layout.values())
+
+    def test_deeper_vertices_are_farther_out(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        by_depth = {}
+        for placed in layout.values():
+            by_depth.setdefault(placed.depth, []).append(placed.radius)
+        depths = sorted(by_depth)
+        for shallow, deep in zip(depths, depths[1:]):
+            assert max(by_depth[shallow]) < min(by_depth[deep]) + 1e-9
+
+    def test_layout_covers_the_provenance_subtree(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        subgraph = graph.subgraph_rooted_at(root)
+        assert len(layout) == subgraph.tuple_count + subgraph.rule_exec_count
+
+    def test_unknown_root_rejected(self, graph_and_root):
+        graph, _ = graph_and_root
+        with pytest.raises(VisualizationError):
+            HypertreeLayout().compute(graph, "vid_missing")
+
+    def test_invalid_level_distance_rejected(self):
+        with pytest.raises(VisualizationError):
+            HypertreeLayout(level_distance=0)
+
+    def test_refocus_moves_focus_to_centre_and_stays_in_disk(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        focus = next(vertex_id for vertex_id in layout if vertex_id != root)
+        refocused = refocus(layout, focus)
+        assert refocused[focus].radius < 1e-9
+        assert all(placed.radius < 1.0 + 1e-9 for placed in refocused.values())
+
+    def test_refocus_unknown_vertex_rejected(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        with pytest.raises(VisualizationError):
+            refocus(layout, "nope")
+
+    def test_transition_frames_end_at_refocus(self, graph_and_root):
+        graph, root = graph_and_root
+        layout = HypertreeLayout().compute(graph, root)
+        focus = next(vertex_id for vertex_id in layout if vertex_id != root)
+        frames = transition_positions(layout, focus, steps=4)
+        assert len(frames) == 4
+        final = frames[-1]
+        expected = refocus(layout, focus)
+        assert final[focus].radius == pytest.approx(expected[focus].radius, abs=1e-9)
+        for frame in frames:
+            assert all(placed.radius < 1.0 + 1e-9 for placed in frame.values())
+
+
+class TestProvenanceRendering:
+    def test_dot_output_mentions_vertices_and_edges(self, graph_and_root):
+        graph, root = graph_and_root
+        dot = provenance_to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "minCost" in dot and "->" in dot
+        assert "peripheries=2" in dot  # base tuples drawn with a double border
+
+    def test_json_output_is_valid_json(self, graph_and_root):
+        graph, _ = graph_and_root
+        payload = json.loads(provenance_to_json(graph))
+        assert len(payload["tuples"]) == graph.tuple_count
+        assert len(payload["rule_executions"]) == graph.rule_exec_count
+
+    def test_ascii_tree_shows_base_links(self, graph_and_root):
+        graph, root = graph_and_root
+        text = render_ascii_tree(graph, root)
+        assert "minCost(n0, n2, 2.0)@n0" in text
+        assert "[base] link(n0, n1, 1.0)@n0" in text
+        assert "[base] link(n1, n2, 1.0)@n1" in text
+
+    def test_ascii_tree_unknown_root_rejected(self, graph_and_root):
+        graph, _ = graph_and_root
+        with pytest.raises(VisualizationError):
+            render_ascii_tree(graph, "vid_missing")
+
+    def test_exploration_views_figure2_levels(self, graph_and_root):
+        graph, _ = graph_and_root
+        views = exploration_views(graph, "minCost", ("n0", "n2", 2.0))
+        assert set(views) == {"snapshot", "table", "tuple"}
+        assert "tuple vertices" in views["snapshot"]
+        assert "minCost" in views["table"]
+        assert "location:   n0" in views["tuple"]
+        assert "derivations (1)" in views["tuple"]
+
+    def test_exploration_views_unknown_tuple_rejected(self, graph_and_root):
+        graph, _ = graph_and_root
+        with pytest.raises(VisualizationError):
+            exploration_views(graph, "minCost", ("n0", "n2", 99.0))
+
+
+class TestTopologyRendering:
+    def test_dot_output(self, ring5):
+        dot = topology_to_dot(ring5)
+        assert dot.startswith("graph")
+        assert '"n0" -- "n1"' in dot
+
+    def test_summary_includes_stats(self, mincost_ring, ring5):
+        summary = topology_summary(ring5, mincost_ring.network.stats.snapshot())
+        assert "nodes: 5" in summary
+        assert "links: 5" in summary
+        assert "messages:" in summary
+
+    def test_summary_without_traffic(self, ring5):
+        assert "traffic" not in topology_summary(ring5)
