@@ -26,8 +26,9 @@ node a query step executes on, preserving the distribution semantics.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProvenanceError, UnknownVertexError
 from repro.engine.compiler import CompiledProgram
@@ -81,11 +82,34 @@ class NodeProvenanceStore:
         self._uses: Dict[str, Set[str]] = {}
         #: bumped on every mutation; used by the query cache for invalidation
         self.version = 0
+        self._bumps_suspended = 0
+        self._pending_bump = False
 
     # -- mutation -----------------------------------------------------------------
 
     def _bump(self) -> None:
+        if self._bumps_suspended:
+            self._pending_bump = True
+            return
         self.version += 1
+
+    @contextmanager
+    def batched(self) -> Iterator["NodeProvenanceStore"]:
+        """Coalesce all version bumps inside the block into (at most) one.
+
+        Batch-first execution applies a whole delta batch under this context
+        manager, so the provenance store advances its version once per batch
+        instead of once per row — the query cache then sees one invalidation
+        per batch, and version arithmetic stays O(1) per batch.
+        """
+        self._bumps_suspended += 1
+        try:
+            yield self
+        finally:
+            self._bumps_suspended -= 1
+            if self._bumps_suspended == 0 and self._pending_bump:
+                self._pending_bump = False
+                self.version += 1
 
     def record_tuple(self, fact: Fact) -> str:
         vid = vid_for(fact)
@@ -264,6 +288,49 @@ class ProvenanceEngine:
         if entry is None:
             return
         self.store(node_id).remove_prov(entry)
+
+    # -- batched recorder protocol (used by the batch-first execution path) -----------
+
+    def apply_support_batch(
+        self,
+        node_id: object,
+        ops: Sequence[Tuple[int, Fact, str, Optional[ProvenanceTag]]],
+    ) -> None:
+        """Apply an ordered batch of support changes with one version bump.
+
+        Each op is ``(sign, fact, derivation_id, tag)``; ``sign > 0`` records
+        a prov entry exactly like :meth:`record_support`, ``sign < 0`` removes
+        one like :meth:`remove_support` (the tag is ignored).  The whole batch
+        bumps the node's provenance version at most once.
+        """
+        if not ops:
+            return
+        with self.store(node_id).batched():
+            for sign, fact, derivation_id, tag in ops:
+                if sign > 0:
+                    self.record_support(node_id, fact, derivation_id, tag)
+                else:
+                    self.remove_support(node_id, fact, derivation_id)
+
+    def apply_rule_exec_batch(
+        self, exec_node: object, effects: Sequence[DerivationEffect]
+    ) -> List[Optional[ProvenanceTag]]:
+        """Record/remove a batch of rule executions with one version bump.
+
+        Returns one entry per effect: the :class:`ProvenanceTag` to ship with
+        a firing (``sign > 0``), or ``None`` for a retraction.
+        """
+        if not effects:
+            return []
+        tags: List[Optional[ProvenanceTag]] = []
+        with self.store(exec_node).batched():
+            for effect in effects:
+                if effect.sign > 0:
+                    tags.append(self.record_rule_exec(exec_node, effect))
+                else:
+                    self.remove_rule_exec(exec_node, effect)
+                    tags.append(None)
+        return tags
 
     # -- statistics ----------------------------------------------------------------------
 

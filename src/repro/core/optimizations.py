@@ -10,9 +10,14 @@ pruning."*
   with the global provenance version and are discarded when any provenance
   table changes, which keeps the cache trivially consistent.
 * **Traversal orders** — a query can expand the alternative derivations of a
-  tuple either in parallel (all sub-queries dispatched at once; lowest
-  latency) or sequentially (one at a time; combined with pruning this avoids
-  sending sub-queries whose results would be discarded).
+  tuple either in parallel or sequentially.  Parallel traversal issues every
+  child sub-query of a step in a single fan-out round, with the requests to
+  each remote node grouped into one batched message and the replies batched
+  on the way back (see :class:`repro.core.query.QueryRequestBatch`): it
+  completes in the fewest communication rounds, at the price of exploring
+  every alternative.  Sequential traversal dispatches one alternative at a
+  time; combined with pruning this avoids sending sub-queries whose results
+  would be discarded, trading extra rounds for fewer messages.
 * **Threshold-based pruning** — once the partial result reaches a
   user-provided size threshold, remaining alternatives are not explored and
   the result is marked truncated.  A maximum traversal depth is also
@@ -30,7 +35,25 @@ TRAVERSAL_SEQUENTIAL = "sequential"
 
 @dataclass(frozen=True)
 class QueryOptions:
-    """Per-query optimisation settings."""
+    """Per-query optimisation settings.
+
+    ``traversal`` picks how a step's alternative derivations are expanded:
+    ``"parallel"`` issues them all in one batched fan-out round (fewest
+    rounds / lowest latency), ``"sequential"`` one at a time (combined with
+    ``threshold`` pruning this sends the fewest messages).  ``use_cache``
+    reuses previously computed sub-results, ``threshold`` stops once the
+    partial result is large enough, and ``max_depth`` bounds the traversal.
+
+    >>> QueryOptions.baseline().traversal
+    'parallel'
+    >>> options = QueryOptions.optimized(threshold=3)
+    >>> (options.traversal, options.use_cache, options.threshold)
+    ('sequential', True, 3)
+    >>> QueryOptions(traversal="diagonal")
+    Traceback (most recent call last):
+        ...
+    ValueError: traversal must be 'parallel' or 'sequential', not 'diagonal'
+    """
 
     use_cache: bool = False
     traversal: str = TRAVERSAL_PARALLEL

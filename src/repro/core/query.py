@@ -13,6 +13,14 @@ statistics reported by :class:`DistributedQueryEngine.query` measure exactly
 the "network traffic" the paper's optimisation discussion refers to, and the
 optimisations of :mod:`repro.core.optimizations` (caching, traversal order,
 threshold pruning) visibly reduce it.
+
+Parallel traversal (the default) is a true single-round fan-out: all child
+requests of a step are issued at once, requests to the same remote node
+share one :class:`QueryRequestBatch` message, and their replies return as
+one :class:`QueryReplyBatch` — minimising both communication rounds
+(:attr:`QueryStats.rounds <repro.core.results.QueryStats>`) and per-peer
+message count.  Sequential traversal instead dispatches one alternative at
+a time so threshold pruning can skip the rest.
 """
 
 from __future__ import annotations
@@ -67,6 +75,23 @@ class QueryRequest:
 
 
 @dataclass(frozen=True)
+class QueryRequestBatch:
+    """Every traversal sub-request one node sends to one peer in one round.
+
+    Parallel traversal (``TRAVERSAL_PARALLEL``) expands all alternative
+    derivations of a step at once; the requests that target the same remote
+    node travel together in a single message, so a fan-out of *k* subtasks to
+    one peer costs one message instead of *k* — this is how parallel
+    traversal trades network messages for communication rounds.
+    """
+
+    requests: Tuple[QueryRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass(frozen=True)
 class QueryReply:
     """The combined sub-result for one traversal step."""
 
@@ -76,6 +101,29 @@ class QueryReply:
     truncated: bool
     visited: FrozenSet[object]
     cache_hits: int
+
+
+@dataclass(frozen=True)
+class QueryReplyBatch:
+    """The replies to a :class:`QueryRequestBatch`, shipped as one message."""
+
+    replies: Tuple[QueryReply, ...]
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+
+@dataclass
+class _ReplyCollector:
+    """Accumulates the replies for one received request batch.
+
+    The reply batch is sent once every sub-frame spawned by the request batch
+    has completed, mirroring the single fan-out message on the request side.
+    """
+
+    reply_to: object
+    expected: int
+    replies: List[QueryReply] = field(default_factory=list)
 
 
 @dataclass
@@ -114,6 +162,7 @@ class _Frame:
     cached_bundle: Optional[_Bundle] = None
     parent: Optional[Tuple[str, int]] = None  # (parent frame id, slot index)
     remote_reply: Optional[Tuple[object, str, str]] = None  # (reply_to, query_id, request_id)
+    reply_batch: Optional[Tuple["_ReplyCollector", str, str]] = None  # (collector, query_id, request_id)
     root_key: Optional[str] = None
     query_id: str = ""
 
@@ -200,20 +249,38 @@ class QueryAgent:
     # -- message handlers ------------------------------------------------------------
 
     def _on_query(self, message) -> None:
-        request: QueryRequest = message.payload
-        if request.kind == _REQUEST_KIND_TUPLE:
-            frame = self._make_tuple_frame(
-                request.query_id, request.target, request.mode, request.options, request.depth
-            )
+        payload = message.payload
+        if isinstance(payload, QueryRequestBatch):
+            requests: Tuple[QueryRequest, ...] = payload.requests
         else:
-            frame = self._make_exec_frame(
-                request.query_id, request.target, request.mode, request.options, request.depth
-            )
-        frame.remote_reply = (request.reply_to, request.query_id, request.request_id)
-        self._activate(frame)
+            requests = (payload,)
+        collector: Optional[_ReplyCollector] = None
+        if len(requests) > 1:
+            collector = _ReplyCollector(reply_to=requests[0].reply_to, expected=len(requests))
+        for request in requests:
+            if request.kind == _REQUEST_KIND_TUPLE:
+                frame = self._make_tuple_frame(
+                    request.query_id, request.target, request.mode, request.options, request.depth
+                )
+            else:
+                frame = self._make_exec_frame(
+                    request.query_id, request.target, request.mode, request.options, request.depth
+                )
+            if collector is not None:
+                frame.reply_batch = (collector, request.query_id, request.request_id)
+            else:
+                frame.remote_reply = (request.reply_to, request.query_id, request.request_id)
+            self._activate(frame)
 
     def _on_reply(self, message) -> None:
-        reply: QueryReply = message.payload
+        payload = message.payload
+        if isinstance(payload, QueryReplyBatch):
+            for reply in payload.replies:
+                self._handle_reply(reply)
+        else:
+            self._handle_reply(payload)
+
+    def _handle_reply(self, reply: QueryReply) -> None:
         pending = self._pending_remote.pop(reply.request_id, None)
         if pending is None:
             return
@@ -326,11 +393,46 @@ class QueryAgent:
             return
         if frame.options.traversal == TRAVERSAL_SEQUENTIAL:
             self._dispatch_next(frame)
-        else:
-            frame.outstanding = len(frame.subtasks)
-            frame.cursor = len(frame.subtasks)
-            for index in range(len(frame.subtasks)):
+            return
+        # Parallel traversal: expand every alternative at once.  Remote
+        # subtasks targeting the same peer are grouped into one
+        # QueryRequestBatch, so the whole fan-out costs one message per
+        # distinct destination and one communication round in total.
+        frame.outstanding = len(frame.subtasks)
+        frame.cursor = len(frame.subtasks)
+        remote_groups: Dict[object, List[int]] = {}
+        remote_order: List[object] = []
+        for index, subtask in enumerate(frame.subtasks):
+            if subtask.kind == "remote-exec":
+                if subtask.remote_node not in remote_groups:
+                    remote_order.append(subtask.remote_node)
+                remote_groups.setdefault(subtask.remote_node, []).append(index)
+            else:
                 self._execute_subtask(frame, index)
+        for destination in remote_order:
+            self._send_remote_batch(frame, destination, remote_groups[destination])
+
+    def _send_remote_batch(self, frame: _Frame, destination: object, indexes: List[int]) -> None:
+        """Ship the given remote subtasks of *frame* to one peer in one message."""
+        requests: List[QueryRequest] = []
+        for index in indexes:
+            subtask = frame.subtasks[index]
+            request_id = self._new_request_id()
+            self._pending_remote[request_id] = (frame.frame_id, index)
+            requests.append(
+                QueryRequest(
+                    query_id=frame.query_id,
+                    request_id=request_id,
+                    kind=_REQUEST_KIND_EXEC,
+                    target=subtask.target,
+                    mode=frame.mode,
+                    options=frame.options,
+                    depth=frame.depth,
+                    reply_to=self.node.id,
+                )
+            )
+        payload: object = requests[0] if len(requests) == 1 else QueryRequestBatch(tuple(requests))
+        self.node.send(destination, CATEGORY_PROVENANCE_QUERY, payload)
 
     def _dispatch_next(self, frame: _Frame) -> None:
         index = frame.cursor
@@ -357,23 +459,9 @@ class QueryAgent:
             child.parent = (frame.frame_id, index)
             self._activate(child)
             return
-        # remote-exec (rule fired at another node)
-        request_id = self._new_request_id()
-        self._pending_remote[request_id] = (frame.frame_id, index)
-        self.node.send(
-            subtask.remote_node,
-            CATEGORY_PROVENANCE_QUERY,
-            QueryRequest(
-                query_id=frame.query_id,
-                request_id=request_id,
-                kind=_REQUEST_KIND_EXEC,
-                target=subtask.target,
-                mode=frame.mode,
-                options=frame.options,
-                depth=frame.depth,
-                reply_to=self.node.id,
-            ),
-        )
+        # remote-exec (rule fired at another node): a singleton batch, which
+        # _send_remote_batch ships as a bare QueryRequest.
+        self._send_remote_batch(frame, subtask.remote_node, [index])
 
     def _deliver(self, frame: _Frame, index: int, bundle: _Bundle) -> None:
         frame.collected[index] = bundle
@@ -434,6 +522,25 @@ class QueryAgent:
             parent = self._frames.get(parent_id)
             if parent is not None:
                 self._deliver(parent, slot, bundle)
+            return
+        if frame.reply_batch is not None:
+            collector, query_id, request_id = frame.reply_batch
+            collector.replies.append(
+                QueryReply(
+                    query_id=query_id,
+                    request_id=request_id,
+                    value=bundle.value,
+                    truncated=bundle.truncated,
+                    visited=bundle.visited,
+                    cache_hits=bundle.cache_hits,
+                )
+            )
+            if len(collector.replies) == collector.expected:
+                self.node.send(
+                    collector.reply_to,
+                    CATEGORY_PROVENANCE_REPLY,
+                    QueryReplyBatch(tuple(collector.replies)),
+                )
             return
         if frame.remote_reply is not None:
             reply_to, query_id, request_id = frame.remote_reply
@@ -534,6 +641,7 @@ class DistributedQueryEngine:
         root_key = query_id
         stats_before = self.runtime.network.stats.snapshot()
         time_before = self.runtime.simulator.now
+        rounds_before = self.runtime.simulator.rounds
 
         if at is None or at == location:
             self._agents[location].start_root(query_id, vid, mode, options, root_key)
@@ -552,6 +660,7 @@ class DistributedQueryEngine:
             messages=int(stats_after["messages"]) - int(stats_before["messages"]),
             bytes=int(stats_after["bytes"]) - int(stats_before["bytes"]),
             latency=self.runtime.simulator.now - time_before,
+            rounds=self.runtime.simulator.rounds - rounds_before,
             nodes_visited=len(bundle.visited),
             cache_hits=bundle.cache_hits,
         )

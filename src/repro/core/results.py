@@ -21,11 +21,19 @@ class TupleRef:
 
 @dataclass
 class QueryStats:
-    """Cost accounting for one provenance query."""
+    """Cost accounting for one provenance query.
+
+    ``messages``/``bytes`` measure network traffic, ``latency`` the elapsed
+    virtual time, and ``rounds`` the number of distinct virtual-time instants
+    the traversal needed (see :attr:`repro.engine.simulator.Simulator.rounds`)
+    — parallel traversal minimises rounds at the price of exploring every
+    alternative, sequential traversal the reverse.
+    """
 
     messages: int = 0
     bytes: int = 0
     latency: float = 0.0
+    rounds: int = 0
     nodes_visited: int = 0
     cache_hits: int = 0
 
@@ -34,6 +42,7 @@ class QueryStats:
             "messages": self.messages,
             "bytes": self.bytes,
             "latency": self.latency,
+            "rounds": self.rounds,
             "nodes_visited": self.nodes_visited,
             "cache_hits": self.cache_hits,
         }

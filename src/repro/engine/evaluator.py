@@ -10,7 +10,13 @@ remote ones as messages.
 
 The evaluator implements:
 
-* semi-naive (delta) evaluation, one update at a time,
+* semi-naive (delta) evaluation, either one update at a time
+  (:meth:`LocalEvaluator.on_fact_inserted` / ``on_fact_deleted``) or — the
+  batch-first hot path — over a whole set of deltas at once
+  (:meth:`LocalEvaluator.on_batch`), which groups same-relation deltas,
+  runs one semi-naive join pass per (rule, delta position) over the whole
+  delta set and defers aggregate recomputation so each touched group is
+  recomputed exactly once per batch,
 * derivation tracking (one firing record per distinct rule firing), which
   both drives incremental deletion and feeds the provenance engine,
 * aggregates (``min``/``max``/``count``/``sum``/``avg``) maintained per
@@ -36,7 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EngineError
-from repro.ndlog.ast import Aggregate, Assignment, Condition, Literal, Rule
+from repro.ndlog.ast import Aggregate, Assignment, Condition, Constant, Literal, Rule, Variable
 from repro.engine.compiler import CompiledProgram
 from repro.engine.dataflow import (
     Bindings,
@@ -128,6 +134,13 @@ class LocalEvaluator:
         self._agg_rules: Dict[str, Rule] = {
             rule.name: rule for rule in compiled.rules if rule.has_aggregate
         }
+        # When not None, the evaluator is inside an on_batch call: aggregate
+        # recomputation is deferred and touched (rule, group) pairs accumulate
+        # here so each group is recomputed exactly once per batch.
+        self._dirty_agg_groups: Optional[Set[Tuple[str, Tuple]]] = None
+        # (rule name, delta position) -> the (relation, index positions) each
+        # non-delta literal will probe during the join, computed statically.
+        self._prewarm_plans: Dict[Tuple[str, int], List[Tuple[str, Tuple[int, ...]]]] = {}
 
     # -- public statistics -------------------------------------------------------
 
@@ -168,6 +181,90 @@ class LocalEvaluator:
         # Firings newly enabled because a negative literal stopped matching.
         for rule in self._compiled.negation_index.get(fact.relation, []):
             effects.extend(self._enable_unblocked_firings(rule, fact))
+        return effects
+
+    def on_batch(
+        self, inserts: Sequence[Fact], deletes: Sequence[Fact]
+    ) -> List[DerivationEffect]:
+        """React to a whole batch of store changes at once (the hot path).
+
+        *inserts* are facts that newly became present and *deletes* facts that
+        disappeared since the last evaluator call; the local store must
+        already reflect the entire batch, and the two sequences must be
+        disjoint (callers collapse flickering facts to their net transition).
+
+        The batch pass is equivalent to replaying the deltas one at a time —
+        incremental maintenance is confluent, so the final store and
+        provenance state are identical — but does strictly less work:
+
+        * same-relation deltas are grouped and each (rule, delta position)
+          trigger runs one semi-naive join pass over the whole delta set,
+          with the classic batch exclusion rule (body positions *before* the
+          delta position skip every delta fact of that relation, so each new
+          binding is found exactly once);
+        * aggregate recomputation is deferred: each touched (rule, group)
+          pair is recomputed once at the end of the batch, so a group hit by
+          many deltas emits one consolidated retract/insert pair instead of
+          an intermediate effect per delta;
+        * the secondary-index lookups in :meth:`TupleStore.matching` are
+          amortised over the whole delta set instead of being interleaved
+          with per-fact bookkeeping.
+        """
+        if self._dirty_agg_groups is not None:
+            raise EngineError("on_batch is not re-entrant")
+        effects: List[DerivationEffect] = []
+        self._dirty_agg_groups = set()
+        try:
+            # Phase 1 — deletions: retract firings and aggregate entries that
+            # used a deleted fact (pure bookkeeping, driven by the reverse
+            # indexes, no store scans).
+            for fact in deletes:
+                for firing_id in sorted(self._fact_firings.pop(fact, set())):
+                    record = self._firings.get(firing_id)
+                    if record is None:
+                        continue
+                    effects.append(self._retract_firing(record))
+                for rule_name, group_key, body_facts in sorted(
+                    self._fact_agg_entries.pop(fact, set()), key=repr
+                ):
+                    effects.extend(self._agg_remove_entry(rule_name, group_key, body_facts))
+            # Firings newly enabled because a negative literal stopped
+            # matching; runs after all retractions so the store and firing
+            # tables are settled.
+            for fact in deletes:
+                for rule in self._compiled.negation_index.get(fact.relation, []):
+                    effects.extend(self._enable_unblocked_firings(rule, fact))
+
+            # Phase 2 — insertions: one batch semi-naive pass per trigger.
+            by_relation: Dict[str, List[Fact]] = {}
+            for fact in inserts:
+                by_relation.setdefault(fact.relation, []).append(fact)
+            exclusions: Dict[str, Set[Fact]] = {
+                relation: set(facts) for relation, facts in by_relation.items()
+            }
+            for relation, delta_facts in by_relation.items():
+                for rule, delta_index in self._compiled.delta_index.get(relation, []):
+                    self._prewarm_join_indexes(rule, delta_index)
+                    for fact in delta_facts:
+                        for bindings, body_facts in self._delta_bindings(
+                            rule, delta_index, fact, exclusions
+                        ):
+                            effects.extend(self._apply_firing(rule, bindings, body_facts))
+            for relation, delta_facts in by_relation.items():
+                for rule in self._compiled.negation_index.get(relation, []):
+                    for fact in delta_facts:
+                        effects.extend(self._retract_blocked_firings(rule, fact))
+
+            # Phase 3 — flush deferred aggregates: one recomputation per
+            # touched group, in a deterministic order.
+            dirty = sorted(self._dirty_agg_groups, key=repr)
+            self._dirty_agg_groups = None
+            for rule_name, group_key in dirty:
+                rule = self._agg_rules.get(rule_name)
+                if rule is not None:
+                    effects.extend(self._agg_recompute(rule, group_key))
+        finally:
+            self._dirty_agg_groups = None
         return effects
 
     def recompute_effects_for_existing(self, fact: Fact) -> List[DerivationEffect]:
@@ -234,10 +331,58 @@ class LocalEvaluator:
 
     # -- join enumeration --------------------------------------------------------------
 
+    def _prewarm_join_indexes(self, rule: Rule, delta_index: int) -> None:
+        """Build the secondary indexes the (rule, delta position) join will probe.
+
+        The set of bound attribute positions at each join step is static: a
+        position is bound iff its term is a constant or a variable introduced
+        by the delta literal or an earlier-joined literal.  Computing the plan
+        once and pre-building the indexes up front means a batch pays index
+        construction once per (relation, positions) pair instead of lazily
+        inside the first :meth:`TupleStore.matching` scan of every join.
+        """
+        plan_key = (rule.name, delta_index)
+        plan = self._prewarm_plans.get(plan_key)
+        if plan is None:
+            plan = []
+            positives = rule.positive_literals
+
+            def atom_variables(atom) -> Set[str]:
+                return {term.name for term in atom.terms if isinstance(term, Variable)}
+
+            bound_vars = atom_variables(positives[delta_index].atom)
+            for position in range(len(positives)):
+                if position == delta_index:
+                    continue
+                atom = positives[position].atom
+                positions = tuple(
+                    sorted(
+                        index
+                        for index, term in enumerate(atom.terms)
+                        if isinstance(term, Constant)
+                        or (isinstance(term, Variable) and term.name in bound_vars)
+                    )
+                )
+                plan.append((atom.relation, positions))
+                bound_vars |= atom_variables(atom)
+            self._prewarm_plans[plan_key] = plan
+        for relation, positions in plan:
+            self._store.prepare_index(relation, positions)
+
     def _delta_bindings(
-        self, rule: Rule, delta_index: int, fact: Fact
+        self,
+        rule: Rule,
+        delta_index: int,
+        fact: Fact,
+        exclusions: Optional[Dict[str, Set[Fact]]] = None,
     ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
-        """Enumerate complete rule bindings in which *fact* plays body position *delta_index*."""
+        """Enumerate complete rule bindings in which *fact* plays body position *delta_index*.
+
+        *exclusions* maps relation names to the delta facts of the current
+        batch; body positions before *delta_index* skip those facts (batch
+        semi-naive de-duplication).  When omitted, the singleton batch
+        ``{fact}`` is assumed, which is the classic per-fact rule.
+        """
         positives = rule.positive_literals
         delta_literal = positives[delta_index]
         initial = match_atom(delta_literal.atom, fact, {}, self._registry)
@@ -246,9 +391,13 @@ class LocalEvaluator:
 
         slots: List[Optional[Fact]] = [None] * len(positives)
         slots[delta_index] = fact
+        if exclusions is None:
+            exclusions = {fact.relation: {fact}}
 
         remaining = [index for index in range(len(positives)) if index != delta_index]
-        yield from self._join_remaining(rule, positives, remaining, 0, initial, slots, fact, delta_index)
+        yield from self._join_remaining(
+            rule, positives, remaining, 0, initial, slots, exclusions, delta_index
+        )
 
     def _join_remaining(
         self,
@@ -258,7 +407,7 @@ class LocalEvaluator:
         cursor: int,
         bindings: Bindings,
         slots: List[Optional[Fact]],
-        delta_fact: Fact,
+        exclusions: Dict[str, Set[Fact]],
         delta_index: int,
     ) -> Iterator[Tuple[Bindings, Tuple[Fact, ...]]]:
         if cursor == len(remaining):
@@ -271,22 +420,20 @@ class LocalEvaluator:
         position = remaining[cursor]
         literal = positives[position]
         bound = bound_positions(literal.atom, bindings)
+        excluded = exclusions.get(literal.atom.relation) if position < delta_index else None
         for candidate in list(self._store.matching(literal.atom.relation, bound)):
-            # Semi-naive de-duplication for self-joins: positions *before* the
-            # delta position must not use the delta fact itself, otherwise the
-            # same firing would be produced once per occurrence.
-            if (
-                position < delta_index
-                and candidate.relation == delta_fact.relation
-                and candidate == delta_fact
-            ):
+            # Semi-naive de-duplication: positions *before* the delta position
+            # must not use any delta fact of the current batch, otherwise each
+            # binding using several delta facts would be produced once per
+            # delta occurrence instead of exactly once (for the first one).
+            if excluded is not None and candidate in excluded:
                 continue
             extended = match_atom(literal.atom, candidate, bindings, self._registry)
             if extended is None:
                 continue
             slots[position] = candidate
             yield from self._join_remaining(
-                rule, positives, remaining, cursor + 1, extended, slots, delta_fact, delta_index
+                rule, positives, remaining, cursor + 1, extended, slots, exclusions, delta_index
             )
             slots[position] = None
 
@@ -444,6 +591,9 @@ class LocalEvaluator:
         entries[body_facts] = _AggEntry(value=value, body_facts=body_facts)
         for fact in set(body_facts):
             self._fact_agg_entries.setdefault(fact, set()).add((rule.name, group_key, body_facts))
+        if self._dirty_agg_groups is not None:
+            self._dirty_agg_groups.add((rule.name, group_key))
+            return []
         return self._agg_recompute(rule, group_key)
 
     def _agg_remove_entry(
@@ -465,6 +615,9 @@ class LocalEvaluator:
                     del self._fact_agg_entries[fact]
         if not entries:
             del groups[group_key]
+        if self._dirty_agg_groups is not None:
+            self._dirty_agg_groups.add((rule_name, group_key))
+            return []
         return self._agg_recompute(rule, group_key)
 
     def _agg_recompute(self, rule: Rule, group_key: Tuple) -> List[DerivationEffect]:

@@ -55,7 +55,9 @@ class Network:
     """Point-to-point message delivery between registered nodes."""
 
     def __init__(self, simulator: Simulator, default_latency: float = 0.01):
-        self._simulator = simulator
+        #: The discrete-event simulator this network schedules deliveries on
+        #: (also used by nodes to coalesce same-instant deliveries).
+        self.simulator = simulator
         self._default_latency = default_latency
         self._receivers: Dict[object, object] = {}
         self._links: Dict[Tuple[object, object], Link] = {}
@@ -108,10 +110,10 @@ class Network:
         receiver = self._receivers[message.receiver]
 
         def deliver() -> None:
-            self._delivery_log.append((self._simulator.now, message))
+            self._delivery_log.append((self.simulator.now, message))
             receiver.receive(message)
 
-        self._simulator.schedule(latency, deliver, label=f"deliver:{message.category}")
+        self.simulator.schedule(latency, deliver, label=f"deliver:{message.category}")
 
     def delivery_log(self) -> List[Tuple[float, Message]]:
         """The (time, message) log of every delivered message, in delivery order."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
 from repro.engine.compiler import CompiledProgram
@@ -35,6 +35,7 @@ from repro.engine.messages import (
     Message,
     ProvenanceTag,
     TupleDelta,
+    TupleDeltaBatch,
 )
 from repro.engine.network import Network
 from repro.engine.store import BASE_DERIVATION, TupleStore
@@ -43,13 +44,20 @@ from repro.engine.tuples import Fact
 
 @dataclass
 class NodeStats:
-    """Counters describing the work one node has performed."""
+    """Counters describing the work one node has performed.
+
+    ``deltas_sent`` / ``deltas_received`` count individual tuple deltas;
+    ``messages_sent`` counts network messages, which is lower in batched mode
+    because deltas to the same destination share one message.
+    """
 
     updates_processed: int = 0
+    batches_processed: int = 0
     rule_firings: int = 0
     rule_retractions: int = 0
     deltas_sent: int = 0
     deltas_received: int = 0
+    messages_sent: int = 0
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,7 @@ class Node:
         network: Network,
         provenance: Optional[object] = None,
         aggregate_retract_first: bool = False,
+        batch_deltas: bool = True,
     ):
         self.id = node_id
         self.compiled = compiled
@@ -80,8 +89,16 @@ class Node:
         )
         self.provenance = provenance
         self.stats = NodeStats()
+        #: Batch-first mode (the default): the work queue is drained in
+        #: batches through :meth:`LocalEvaluator.on_batch`, outgoing deltas
+        #: are grouped per destination into :class:`TupleDeltaBatch`
+        #: messages, and provenance is updated once per batch.  ``False``
+        #: restores the historical one-delta-at-a-time path (kept as the
+        #: baseline the batching benchmarks compare against).
+        self.batch_deltas = batch_deltas
         self._queue: Deque[_PendingUpdate] = deque()
         self._processing = False
+        self._drain_scheduled = False
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         network.register(node_id, self)
 
@@ -96,6 +113,26 @@ class Node:
         """Delete a base tuple previously inserted at this node."""
         self._check_location(fact)
         self._enqueue(_PendingUpdate(-1, fact, BASE_DERIVATION, None))
+
+    def apply_base_batch(
+        self, inserts: Sequence[Fact] = (), deletes: Sequence[Fact] = ()
+    ) -> None:
+        """Enqueue many base-tuple deltas and process them as one batch.
+
+        Deletions are staged before insertions so key-overwrite sequences
+        ("delete the old row, insert the new one") behave as expected.  In
+        batched mode the whole set reaches the evaluator as a single
+        :meth:`LocalEvaluator.on_batch` call; in per-delta mode it simply
+        replays one update at a time.
+        """
+        for fact in deletes:
+            self._check_location(fact)
+            self._queue.append(_PendingUpdate(-1, fact, BASE_DERIVATION, None))
+        for fact in inserts:
+            self._check_location(fact)
+            self._queue.append(_PendingUpdate(+1, fact, BASE_DERIVATION, None))
+        if self._queue and not self._processing:
+            self._drain()
 
     def apply_external_derivation(self, effect: DerivationEffect) -> None:
         """Apply a derivation produced outside the local evaluator.
@@ -120,11 +157,26 @@ class Node:
     def receive(self, message: Message) -> None:
         """Entry point used by the network to deliver a message to this node."""
         if message.category == CATEGORY_TUPLE:
-            delta = message.payload
-            if not isinstance(delta, TupleDelta):
+            payload = message.payload
+            if isinstance(payload, TupleDeltaBatch):
+                deltas = payload.deltas
+            elif isinstance(payload, TupleDelta):
+                deltas = (payload,)
+            else:
                 raise EngineError(f"malformed tuple message payload: {message.payload!r}")
-            self.stats.deltas_received += 1
-            self._enqueue(_PendingUpdate(delta.sign, delta.fact, delta.derivation_id, delta.provenance))
+            self.stats.deltas_received += len(deltas)
+            for delta in deltas:
+                self._queue.append(
+                    _PendingUpdate(delta.sign, delta.fact, delta.derivation_id, delta.provenance)
+                )
+            if self.batch_deltas:
+                # Defer draining to a zero-delay simulator event: every
+                # message delivered to this node at the same virtual instant
+                # lands in the queue first, so one evaluation batch absorbs
+                # the whole wave instead of one batch per sender.
+                self._schedule_drain()
+            elif not self._processing:
+                self._drain()
             return
         handler = self._handlers.get(message.category)
         if handler is None:
@@ -147,14 +199,62 @@ class Node:
         if not self._processing:
             self._drain()
 
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or self._processing:
+            return
+        self._drain_scheduled = True
+
+        def fire() -> None:
+            self._drain_scheduled = False
+            if not self._processing and self._queue:
+                self._drain()
+
+        self.network.simulator.schedule(0.0, fire, label=f"drain:{self.id}")
+
     def _drain(self) -> None:
         self._processing = True
         try:
             while self._queue:
-                update = self._queue.popleft()
-                self._apply(update)
+                if self.batch_deltas:
+                    batch = list(self._queue)
+                    self._queue.clear()
+                    self._apply_batch(batch)
+                else:
+                    self._apply(self._queue.popleft())
         finally:
             self._processing = False
+
+    def _apply_batch(self, updates: List[_PendingUpdate]) -> None:
+        """Apply a batch of pending updates with one evaluator/provenance pass.
+
+        The store absorbs the whole batch first; the evaluator then sees only
+        the *net* presence transitions, and the provenance partition is
+        updated under a single version bump.
+        """
+        self.stats.updates_processed += len(updates)
+        self.stats.batches_processed += 1
+        newly_present, disappeared, applied = self.store.apply_delta_batch(
+            (update.sign, update.fact, update.derivation_id) for update in updates
+        )
+        if self.provenance is not None:
+            ops = []
+            for update, was_applied in zip(updates, applied):
+                if update.sign > 0:
+                    ops.append((+1, update.fact, update.derivation_id, update.tag))
+                elif was_applied:
+                    ops.append((-1, update.fact, update.derivation_id, None))
+            apply_batch = getattr(self.provenance, "apply_support_batch", None)
+            if apply_batch is not None:
+                apply_batch(self.id, ops)
+            else:  # duck-typed recorder without the batch extension
+                for sign, fact, derivation_id, tag in ops:
+                    if sign > 0:
+                        self.provenance.record_support(self.id, fact, derivation_id, tag)
+                    else:
+                        self.provenance.remove_support(self.id, fact, derivation_id)
+        if newly_present or disappeared:
+            effects = self.evaluator.on_batch(newly_present, disappeared)
+            self._handle_effects(effects)
 
     def _apply(self, update: _PendingUpdate) -> None:
         self.stats.updates_processed += 1
@@ -177,37 +277,69 @@ class Node:
                 self._handle_effects(effects)
 
     def _handle_effects(self, effects: List[DerivationEffect]) -> None:
-        for effect in effects:
-            tag: Optional[ProvenanceTag] = None
+        if not effects:
+            return
+        tags = self._record_effects(effects)
+
+        outgoing: Dict[object, List[TupleDelta]] = {}
+        destinations: List[object] = []  # deterministic first-seen order
+        for effect, tag in zip(effects, tags):
             if effect.sign > 0:
                 self.stats.rule_firings += 1
-                if self.provenance is not None:
-                    tag = self.provenance.record_rule_exec(self.id, effect)
             else:
                 self.stats.rule_retractions += 1
-                if self.provenance is not None:
-                    self.provenance.remove_rule_exec(self.id, effect)
-
+            if effect.head_location == self.id:
+                self._queue.append(
+                    _PendingUpdate(effect.sign, effect.head_fact, effect.firing_id, tag)
+                )
+                continue
+            self.stats.deltas_sent += 1
             delta = TupleDelta(
                 sign=effect.sign,
                 fact=effect.head_fact,
                 derivation_id=effect.firing_id,
                 provenance=tag,
             )
-            if effect.head_location == self.id:
-                self._enqueue(
-                    _PendingUpdate(effect.sign, effect.head_fact, effect.firing_id, tag)
-                )
+            if effect.head_location not in outgoing:
+                destinations.append(effect.head_location)
+            outgoing.setdefault(effect.head_location, []).append(delta)
+
+        for destination in destinations:
+            deltas = outgoing[destination]
+            if self.batch_deltas:
+                payloads: List[object] = [
+                    deltas[0] if len(deltas) == 1 else TupleDeltaBatch(tuple(deltas))
+                ]
             else:
-                self.stats.deltas_sent += 1
+                payloads = list(deltas)
+            for payload in payloads:
+                self.stats.messages_sent += 1
                 self.network.send(
                     Message(
                         sender=self.id,
-                        receiver=effect.head_location,
+                        receiver=destination,
                         category=CATEGORY_TUPLE,
-                        payload=delta,
+                        payload=payload,
                     )
                 )
+        if self._queue and not self._processing:
+            self._drain()
+
+    def _record_effects(self, effects: List[DerivationEffect]) -> List[Optional[ProvenanceTag]]:
+        """Record rule firings/retractions in the provenance engine, batched."""
+        if self.provenance is None:
+            return [None] * len(effects)
+        apply_batch = getattr(self.provenance, "apply_rule_exec_batch", None)
+        if self.batch_deltas and apply_batch is not None:
+            return apply_batch(self.id, effects)
+        tags: List[Optional[ProvenanceTag]] = []
+        for effect in effects:
+            if effect.sign > 0:
+                tags.append(self.provenance.record_rule_exec(self.id, effect))
+            else:
+                self.provenance.remove_rule_exec(self.id, effect)
+                tags.append(None)
+        return tags
 
     # -- convenience accessors -------------------------------------------------------
 

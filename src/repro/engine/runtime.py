@@ -27,7 +27,22 @@ from repro.engine.tuples import Fact
 
 
 class NetTrailsRuntime:
-    """A running (simulated) distributed system with provenance tracking."""
+    """A running (simulated) distributed system with provenance tracking.
+
+    The runtime accepts an NDlog program (source text or parsed
+    :class:`~repro.ndlog.ast.Program`) and a :class:`Topology`; it compiles
+    and localizes the program, builds one node per topology vertex and wires
+    them through the simulated network.  Base tuples go in through
+    :meth:`insert` / :meth:`insert_batch`, virtual time advances through
+    :meth:`run` / :meth:`run_to_quiescence`, and global state comes back out
+    through :meth:`state`.
+
+    >>> from repro.engine import topology
+    >>> runtime = NetTrailsRuntime("r1 reach(@D, S) :- edge(@S, D).", topology.line(2))
+    >>> _ = runtime.insert_batch("edge", [["n0", "n1"], ["n1", "n0"]], run=True)
+    >>> runtime.state("reach")
+    [('n0', 'n1'), ('n1', 'n0')]
+    """
 
     def __init__(
         self,
@@ -39,6 +54,7 @@ class NetTrailsRuntime:
         registry: Optional[FunctionRegistry] = None,
         program_name: Optional[str] = None,
         aggregate_retract_first: bool = False,
+        batch_deltas: bool = True,
     ):
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
@@ -61,6 +77,10 @@ class NetTrailsRuntime:
         else:
             self.provenance = provenance
 
+        #: Batch-first delta processing (see :class:`repro.engine.node.Node`).
+        #: ``False`` restores the historical per-delta path; the batching
+        #: benchmarks construct one runtime of each kind and compare them.
+        self.batch_deltas = batch_deltas
         self.nodes: Dict[object, Node] = {}
         for name in topology.nodes:
             self.nodes[name] = Node(
@@ -69,6 +89,7 @@ class NetTrailsRuntime:
                 self.network,
                 self.provenance,
                 aggregate_retract_first=aggregate_retract_first,
+                batch_deltas=batch_deltas,
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
@@ -100,19 +121,19 @@ class NetTrailsRuntime:
         self._link_relation = relation
         self._link_symmetric = symmetric
         self._link_include_cost = include_cost
-        inserted = 0
         edges = self.topology.directed_edges() if symmetric else [
             (a, b, c) for (a, b), c in sorted(self.topology.edges.items())
         ]
+        rows: List[List[object]] = []
         for source, target, cost in edges:
             values: List[object] = [source, target]
             if include_cost:
                 values.append(cost)
-            self.insert(relation, values)
-            inserted += 1
+            rows.append(values)
+        self.insert_batch(relation, rows)
         if run:
             self.run_to_quiescence()
-        return inserted
+        return len(rows)
 
     def _link_values(self, source: object, target: object, cost: float) -> List[object]:
         values: List[object] = [source, target]
@@ -147,6 +168,81 @@ class NetTrailsRuntime:
         location = self.compiled.catalog.location_of(fact)
         self.node(location).delete_base(fact)
         return fact
+
+    def insert_batch(
+        self, relation: str, rows: Sequence[Sequence[object]], run: bool = False
+    ) -> List[Fact]:
+        """Insert many base tuples of *relation*, delivered as per-node batches.
+
+        The rows are routed to their home nodes and each node absorbs its
+        whole share in one evaluation batch (see
+        :meth:`repro.engine.node.Node.apply_base_batch`), which is the
+        batch-first fast path for bulk loads such as :meth:`seed_links`.
+        Key-based overwrite semantics match :meth:`insert`, including between
+        rows of the same batch (the last row with a given key wins).
+        With ``run=True`` the simulator is run to quiescence afterwards.
+        """
+        # Insertion-ordered fact "sets" per node (dicts keyed by fact), so the
+        # membership / overwrite bookkeeping below is O(1) per row.
+        per_node_inserts: Dict[object, Dict[Fact, None]] = {}
+        per_node_deletes: Dict[object, Dict[Fact, None]] = {}
+        staged_by_key: Dict[Tuple[object, Tuple[object, ...]], Fact] = {}
+        # Per-location index of the already-stored base facts by primary key,
+        # built once so the overwrite check is O(rows + stored) rather than a
+        # full-relation scan per row.
+        stored_by_key: Dict[object, Dict[Tuple[object, ...], List[Fact]]] = {}
+        facts: List[Fact] = []
+        for values in rows:
+            fact = Fact.make(relation, values)
+            facts.append(fact)
+            location = self.compiled.catalog.location_of(fact)
+            node = self.node(location)
+            inserts = per_node_inserts.setdefault(location, {})
+            key = self.compiled.catalog.key_of(fact)
+            if key is not None:
+                schema = self.compiled.catalog.schema_or_default(relation, fact.arity)
+                staged = staged_by_key.pop((location, key), None)
+                if staged is not None and staged != fact:
+                    inserts.pop(staged, None)
+                key_index = stored_by_key.get(location)
+                if key_index is None:
+                    key_index = {}
+                    for existing in node.store.facts(relation):
+                        if BASE_DERIVATION in node.store.derivations(existing):
+                            key_index.setdefault(schema.key_of(existing), []).append(existing)
+                    stored_by_key[location] = key_index
+                deletes = per_node_deletes.setdefault(location, {})
+                for existing in key_index.get(key, []):
+                    if existing != fact:
+                        deletes[existing] = None
+                staged_by_key[(location, key)] = fact
+            inserts[fact] = None
+        locations = sorted(set(per_node_inserts) | set(per_node_deletes), key=repr)
+        for location in locations:
+            self.node(location).apply_base_batch(
+                list(per_node_inserts.get(location, ())),
+                list(per_node_deletes.get(location, ())),
+            )
+        if run:
+            self.run_to_quiescence()
+        return facts
+
+    def delete_batch(
+        self, relation: str, rows: Sequence[Sequence[object]], run: bool = False
+    ) -> List[Fact]:
+        """Delete many base tuples of *relation*, delivered as per-node batches."""
+        per_node: Dict[object, List[Fact]] = {}
+        facts: List[Fact] = []
+        for values in rows:
+            fact = Fact.make(relation, values)
+            facts.append(fact)
+            location = self.compiled.catalog.location_of(fact)
+            per_node.setdefault(location, []).append(fact)
+        for location in sorted(per_node, key=repr):
+            self.node(location).apply_base_batch((), per_node[location])
+        if run:
+            self.run_to_quiescence()
+        return facts
 
     # -- dynamic topology ---------------------------------------------------------------
 

@@ -86,6 +86,49 @@ class TupleStore:
         self._index_remove(fact)
         return True
 
+    def apply_delta_batch(
+        self, deltas: Iterable[Tuple[int, Fact, str]]
+    ) -> Tuple[List[Fact], List[Fact], List[bool]]:
+        """Apply an ordered batch of ``(sign, fact, derivation_id)`` deltas.
+
+        Returns ``(newly_present, disappeared, applied)``:
+
+        * *newly_present* / *disappeared* are the facts whose *net* presence
+          changed over the whole batch, in first-transition order.  A fact
+          that flickers (appears and disappears within the batch, or vice
+          versa) is reported in neither list — its net effect on the
+          evaluator is nil, which is exactly what lets
+          :meth:`repro.engine.evaluator.LocalEvaluator.on_batch` skip the
+          derive-then-retract churn a one-at-a-time replay would produce.
+        * *applied* has one flag per input delta: for insertions it is always
+          True, for deletions it is True iff the derivation was actually
+          present (callers mirror it into their provenance support records,
+          keeping retraction idempotent).
+        """
+        before: Dict[Fact, bool] = {}
+        order: List[Fact] = []
+        applied: List[bool] = []
+        for sign, fact, derivation_id in deltas:
+            if fact not in before:
+                before[fact] = self.contains(fact)
+                order.append(fact)
+            if sign > 0:
+                self.add_derivation(fact, derivation_id)
+                applied.append(True)
+            else:
+                had = derivation_id in self._facts.get(fact.relation, {}).get(fact, ())
+                self.remove_derivation(fact, derivation_id)
+                applied.append(had)
+        newly_present: List[Fact] = []
+        disappeared: List[Fact] = []
+        for fact in order:
+            now = self.contains(fact)
+            if now and not before[fact]:
+                newly_present.append(fact)
+            elif before[fact] and not now:
+                disappeared.append(fact)
+        return newly_present, disappeared, applied
+
     def remove_fact(self, fact: Fact) -> Set[str]:
         """Forcibly remove *fact*, returning the derivation ids it had."""
         by_fact = self._facts.get(fact.relation)
@@ -110,6 +153,16 @@ class TupleStore:
         key = tuple(bound[position] for position in positions)
         index = self._ensure_index(relation, positions)
         yield from index.get(key, ())
+
+    def prepare_index(self, relation: str, positions: Tuple[int, ...]) -> None:
+        """Build (or reuse) the secondary index on *positions* of *relation*.
+
+        Batch evaluation calls this up front so index construction is paid
+        once per (relation, positions) pair rather than being interleaved
+        with the first matching scan of a join pass.
+        """
+        if positions:
+            self._ensure_index(relation, tuple(sorted(positions)))
 
     def _ensure_index(
         self, relation: str, positions: Tuple[int, ...]

@@ -8,6 +8,7 @@ from repro.core.queries import CustomQuery, QUERY_COUNT, QUERY_LINEAGE
 from repro.core.query import DistributedQueryEngine
 from repro.core.results import TupleRef
 from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
 from repro.protocols import dsr, mincost, path_vector
 
 
@@ -153,6 +154,53 @@ class TestOptimizations:
         second = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
         assert second.value == first.value
         assert second.stats.messages > 0  # cache entry was stale, traversal re-ran
+
+    def test_parallel_fanout_batches_messages_and_rounds(self):
+        """Two derivations at one peer: parallel = 1 request + 1 reply batch.
+
+        ``flag(@D, S)`` has one derivation per matching ``src`` fact, and both
+        rule executions happen at the source node — the canonical fan-out.
+        Sequential traversal pays a request/reply pair per derivation (more
+        messages, more rounds); parallel traversal ships both requests in one
+        :class:`QueryRequestBatch` and both replies in one batch.
+        """
+        runtime = NetTrailsRuntime("r1 flag(@D, S) :- src(@S, D, X).", topology.line(2))
+        runtime.insert("src", ["n1", "n0", 1])
+        runtime.insert("src", ["n1", "n0", 2])
+        runtime.run_to_quiescence()
+        queries = DistributedQueryEngine(runtime)
+
+        parallel = queries.lineage("flag", ["n0", "n1"], options=QueryOptions(traversal="parallel"))
+        sequential = queries.lineage("flag", ["n0", "n1"], options=QueryOptions(traversal="sequential"))
+        assert parallel.value == sequential.value
+        assert parallel.value == frozenset(
+            {TupleRef("src", ("n1", "n0", 1), "n1"), TupleRef("src", ("n1", "n0", 2), "n1")}
+        )
+        # one batched request + one batched reply...
+        assert parallel.stats.messages == 2
+        assert parallel.stats.rounds == 2
+        # ...versus a request/reply pair per alternative derivation.
+        assert sequential.stats.messages == 4
+        assert sequential.stats.rounds == 4
+
+    def test_parallel_traversal_fewer_rounds_same_answer(self):
+        """On a branching workload parallel strictly wins on rounds."""
+        net = topology.random_connected(10, edge_probability=0.5, seed=17)
+        runtime = path_vector.setup(net)
+        queries = DistributedQueryEngine(runtime)
+        rows = sorted(runtime.state("bestPathCost"), key=lambda row: -row[2])
+        strict_win = False
+        for row in rows[:5]:
+            parallel = queries.lineage(
+                "bestPathCost", list(row), options=QueryOptions(traversal="parallel")
+            )
+            sequential = queries.lineage(
+                "bestPathCost", list(row), options=QueryOptions(traversal="sequential")
+            )
+            assert parallel.value == sequential.value
+            assert parallel.stats.rounds <= sequential.stats.rounds
+            strict_win = strict_win or parallel.stats.rounds < sequential.stats.rounds
+        assert strict_win
 
     def test_sequential_threshold_prunes_messages(self):
         # A richer topology gives minCost tuples several alternative

@@ -1,5 +1,8 @@
 """Tests for the per-node incremental evaluator (single-node, no network)."""
 
+import random
+from collections import Counter
+
 import pytest
 
 from repro.engine.compiler import compile_program
@@ -27,6 +30,14 @@ def delete(evaluator, store, fact):
     if derivations:
         return evaluator.on_fact_deleted(fact)
     return []
+
+
+def batch(evaluator, store, inserts=(), deletes=()):
+    """Apply a whole delta batch to the store and evaluator, returning the effects."""
+    deltas = [(-1, fact, f"test:{fact}") for fact in deletes]
+    deltas += [(+1, fact, f"test:{fact}") for fact in inserts]
+    newly_present, disappeared, _ = store.apply_delta_batch(deltas)
+    return evaluator.on_batch(newly_present, disappeared)
 
 
 LOCAL_JOIN = """
@@ -183,3 +194,134 @@ class TestNegation:
         evaluator, store = make_evaluator(self.NEG)
         insert(evaluator, store, Fact.make("offer", ["n0", "d"]))
         assert insert(evaluator, store, Fact.make("blocked", ["n0", "other"])) == []
+
+
+def net_effects(effects):
+    """Net derivation count per (rule, head, body) across an effect history.
+
+    Firing ids differ between batched and one-at-a-time evaluation, but the
+    *content* of the surviving derivations must be identical; summing signs
+    per content key cancels every derive/retract pair.
+    """
+    counts = Counter()
+    for effect in effects:
+        counts[(effect.rule_name, effect.head_fact, effect.body_facts)] += effect.sign
+    return {key: count for key, count in counts.items() if count}
+
+
+class TestOnBatch:
+    def test_join_across_batch_members(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        effects = batch(
+            evaluator,
+            store,
+            inserts=[Fact.make("link", ["n0", "a"]), Fact.make("link2", ["n0", "a", "b"])],
+        )
+        assert len(effects) == 1
+        assert effects[0].head_fact == Fact.make("twoHop", ["n0", "b"])
+
+    def test_self_join_batch_produces_each_binding_once(self):
+        evaluator, store = make_evaluator("r1 pair(@S, A, B) :- item(@S, A), item(@S, B).")
+        effects = batch(
+            evaluator,
+            store,
+            inserts=[Fact.make("item", ["n0", 1]), Fact.make("item", ["n0", 2])],
+        )
+        heads = [str(e.head_fact) for e in effects]
+        assert len(heads) == 4  # (1,1), (1,2), (2,1), (2,2) — exactly once each
+        assert len(set(heads)) == 4
+
+    def test_aggregate_recomputed_once_per_batch(self):
+        evaluator, store = make_evaluator("r1 best(@S, D, min<C>) :- path(@S, D, C).")
+        effects = batch(
+            evaluator,
+            store,
+            inserts=[Fact.make("path", ["n0", "d", cost]) for cost in (5, 3, 9)],
+        )
+        # One consolidated effect for the final minimum; a one-at-a-time
+        # replay would emit +5, then -5/+3 as the minimum improves.
+        assert [(e.sign, e.head_fact.values[2]) for e in effects] == [(+1, 3)]
+
+    def test_negation_within_batch(self):
+        evaluator, store = make_evaluator(
+            "r1 candidate(@S, D) :- offer(@S, D), !blocked(@S, D)."
+        )
+        effects = batch(
+            evaluator,
+            store,
+            inserts=[Fact.make("offer", ["n0", "d"]), Fact.make("blocked", ["n0", "d"])],
+        )
+        assert effects == []  # the blocker lands in the same batch
+        effects = batch(evaluator, store, deletes=[Fact.make("blocked", ["n0", "d"])])
+        assert [e.sign for e in effects] == [+1]
+
+    def test_mixed_insert_and_delete_batch(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        batch(evaluator, store, inserts=[Fact.make("link", ["n0", "a"])])
+        batch(evaluator, store, inserts=[Fact.make("link2", ["n0", "a", "b"])])
+        effects = batch(
+            evaluator,
+            store,
+            inserts=[Fact.make("link2", ["n0", "a", "c"])],
+            deletes=[Fact.make("link2", ["n0", "a", "b"])],
+        )
+        signs = {(e.sign, str(e.head_fact)) for e in effects}
+        assert signs == {(-1, 'twoHop("n0", "b")'), (+1, 'twoHop("n0", "c")')}
+
+    def test_batch_is_not_reentrant(self):
+        evaluator, store = make_evaluator(LOCAL_JOIN)
+        evaluator._dirty_agg_groups = set()
+        with pytest.raises(Exception):
+            evaluator.on_batch([], [])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_batch_equals_one_at_a_time_replay(self, seed):
+        """Property: on_batch reaches the same store/derivation state as replay."""
+        source = """
+        r1 best(@S, D, min<C>) :- path(@S, D, C).
+        r2 path(@S, D, C) :- edge(@S, D, C).
+        r3 good(@S, D) :- edge(@S, D, C), !bad(@S, D).
+        """
+        rng = random.Random(seed)
+        pool = [
+            Fact.make("edge", ["n0", dest, cost])
+            for dest in ("a", "b", "c")
+            for cost in (1, 2, 3)
+        ] + [Fact.make("bad", ["n0", dest]) for dest in ("a", "b")]
+        script = []
+        present = set()
+        for _ in range(40):
+            fact = rng.choice(pool)
+            if fact in present:
+                script.append(("-", fact))
+                present.discard(fact)
+            else:
+                script.append(("+", fact))
+                present.add(fact)
+
+        single_eval, single_store = make_evaluator(source)
+        single_effects = []
+        for op, fact in script:
+            if op == "+":
+                single_effects.extend(insert(single_eval, single_store, fact))
+            else:
+                single_effects.extend(delete(single_eval, single_store, fact))
+
+        batch_eval, batch_store = make_evaluator(source)
+        batch_effects = []
+        cursor = 0
+        while cursor < len(script):
+            size = rng.randint(1, 8)
+            chunk = script[cursor : cursor + size]
+            cursor += size
+            # Preserve the in-batch delta order (a fact may flip twice within
+            # one chunk; apply_delta_batch collapses it to the net transition).
+            deltas = [
+                (+1 if op == "+" else -1, fact, f"test:{fact}") for op, fact in chunk
+            ]
+            newly_present, disappeared, _ = batch_store.apply_delta_batch(deltas)
+            batch_effects.extend(batch_eval.on_batch(newly_present, disappeared))
+
+        assert single_store.snapshot() == batch_store.snapshot()
+        assert net_effects(single_effects) == net_effects(batch_effects)
+        assert single_eval.firing_count == batch_eval.firing_count

@@ -9,10 +9,12 @@ runtime built from scratch on the changed topology.
 """
 
 import copy
+import random
 
 import pytest
 
 from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
 from repro.protocols import distance_vector, mincost, path_vector
 
 
@@ -84,6 +86,84 @@ class TestIncrementalEqualsScratch:
         assert global_state(incremental, relations) == global_state(scratch, relations)
         assert provenance_fingerprint(incremental) == provenance_fingerprint(scratch)
 
+class TestBatchEqualsSingleton:
+    """Batched delta evaluation must reach the same state as per-delta replay.
+
+    These tests pin down the correctness contract of the batch-first
+    execution path (:meth:`LocalEvaluator.on_batch`, per-destination
+    :class:`TupleDeltaBatch` messages, per-batch provenance updates): it may
+    reorder and consolidate work arbitrarily, but the final protocol state
+    *and* the distributed provenance tables must be indistinguishable from
+    the historical one-delta-at-a-time mode.
+    """
+
+    @pytest.mark.parametrize("script_name", sorted(CHANGE_SCRIPTS))
+    @pytest.mark.parametrize(
+        "module,relations",
+        [
+            (mincost, ["path", "minCost"]),
+            (path_vector, ["path", "bestPathCost", "bestPath"]),
+            (distance_vector, ["hop", "bestHop"]),
+        ],
+        ids=["mincost", "path_vector", "distance_vector"],
+    )
+    def test_batched_equals_per_delta_runtime(self, module, relations, script_name):
+        def build(batch_deltas):
+            net = topology.random_connected(8, edge_probability=0.35, seed=13)
+            runtime = NetTrailsRuntime(module.program(), net, batch_deltas=batch_deltas)
+            runtime.seed_links(run=True)
+            apply_script(runtime, net, CHANGE_SCRIPTS[script_name])
+            return runtime
+
+        batched = build(True)
+        per_delta = build(False)
+        assert global_state(batched, relations) == global_state(per_delta, relations)
+        assert provenance_fingerprint(batched) == provenance_fingerprint(per_delta)
+        # Batching is the whole point: the same convergence must cost fewer
+        # network messages and simulator events.
+        assert batched.message_stats().messages <= per_delta.message_stats().messages
+        assert batched.simulator.processed_events <= per_delta.simulator.processed_events
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_random_bulk_batches_equal_singleton_replay(self, seed):
+        """Property-style: random insert/delete batches vs one-at-a-time."""
+        rng = random.Random(seed)
+        net = topology.ring(6)
+        batched = NetTrailsRuntime(mincost.program(), copy.deepcopy(net))
+        singleton = NetTrailsRuntime(mincost.program(), copy.deepcopy(net))
+        for runtime in (batched, singleton):
+            runtime.seed_links(run=True)
+
+        nodes = sorted(net.nodes)
+        extra = [
+            [a, b, float(rng.randint(1, 4))]
+            for a in nodes
+            for b in rng.sample(nodes, 3)
+            if a != b
+        ]
+        live = []
+        for _ in range(6):
+            inserts = [extra[rng.randrange(len(extra))] for _ in range(rng.randint(1, 5))]
+            deletes = [live.pop(rng.randrange(len(live))) for _ in range(min(len(live), rng.randint(0, 3)))]
+            deletes = [row for row in deletes if row not in inserts]
+            live.extend(inserts)
+
+            batched.delete_batch("link", deletes)
+            batched.insert_batch("link", inserts)
+            batched.run_to_quiescence()
+
+            for row in deletes:
+                singleton.delete("link", row)
+            for row in inserts:
+                singleton.insert("link", row)
+            singleton.run_to_quiescence()
+
+            for relation in ("link", "path", "minCost"):
+                assert batched.state(relation) == singleton.state(relation)
+            assert provenance_fingerprint(batched) == provenance_fingerprint(singleton)
+
+
+class TestInsertDeleteRoundTrip:
     def test_insert_then_delete_returns_to_original(self):
         net = topology.ring(6)
         runtime = mincost.setup(net)
