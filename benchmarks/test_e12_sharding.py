@@ -1,0 +1,110 @@
+"""E12 — sharded per-node stores: hub-node batch absorption, 4 shards vs 1.
+
+A star topology concentrates every delta wave on the hub: after each churn
+round the hub absorbs one large coalesced batch while the spokes see small
+ones.  Sharding the hub's store (``num_shards=4``) splits those batches into
+per-shard sub-batches and runs the semi-naive join passes per shard —
+serially in the deterministic reference mode, or on a thread pool with
+``shard_workers``.
+
+Sharding is an *internal* reorganisation of a node: the smoke assertions pin
+that threaded shard absorption changes neither the converged protocol state,
+nor the network message/delta counts, nor the per-node provenance versions
+(one bump per logical-node batch regardless of shard count).
+"""
+
+import time
+
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.store import ShardedTupleStore
+from repro.protocols import mincost
+
+#: Spokes churned per round and number of delete/reinsert rounds; sized so
+#: the hub repeatedly absorbs multi-delta batches.
+CHURN_ROUNDS = 4
+HUB = "n0"
+
+
+def run_hub_churn(num_shards=None, shard_workers=0):
+    """Seed MINCOST on a star, then churn the hub's links; return the runtime."""
+    net = topology.star(10)
+    runtime = NetTrailsRuntime(
+        mincost.program(), net, num_shards=num_shards, shard_workers=shard_workers
+    )
+    runtime.seed_links(run=True)
+    hub_rows = [list(values) for values in runtime.state("link") if values[0] == HUB]
+    churned = hub_rows[::2]
+    for _ in range(CHURN_ROUNDS):
+        runtime.delete_batch("link", churned, run=True)
+        runtime.insert_batch("link", churned, run=True)
+    return runtime
+
+
+def test_threaded_shard_absorption_keeps_message_counts(benchmark, record):
+    start = time.perf_counter()
+    flat = run_hub_churn()
+    flat_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = run_hub_churn(num_shards=4)
+    serial_seconds = time.perf_counter() - start
+
+    threaded_runtimes = []
+
+    def run_threaded():
+        runtime = run_hub_churn(num_shards=4, shard_workers=2)
+        threaded_runtimes.append(runtime)  # every round's pools get closed below
+        return runtime
+
+    threaded = benchmark.pedantic(run_threaded, rounds=2, iterations=1)
+
+    try:
+        hub_store = threaded.nodes[HUB].store
+        assert isinstance(hub_store, ShardedTupleStore)
+        assert sum(shard.count() for shard in hub_store.shards) == hub_store.count()
+
+        for runtime, label in ((serial, "serial"), (threaded, "threaded")):
+            for relation in ("link", "path", "minCost"):
+                assert runtime.state(relation) == flat.state(relation), (label, relation)
+            # Sharding must be invisible on the wire and to provenance
+            # versioning: same message/delta counts, same per-batch bumps.
+            # (Byte estimates may drift by a few characters: firing ids embed
+            # a per-node sequence number whose order is not pinned.)
+            assert runtime.message_stats().messages == flat.message_stats().messages, label
+            assert (
+                runtime.nodes[HUB].stats.deltas_received
+                == flat.nodes[HUB].stats.deltas_received
+            ), label
+            assert runtime.provenance.versions() == flat.provenance.versions(), label
+            assert (
+                runtime.nodes[HUB].stats.batches_processed
+                == flat.nodes[HUB].stats.batches_processed
+            ), label
+
+        hub_stats = threaded.nodes[HUB].stats
+        record(
+            "E12 sharded hub absorption (MINCOST star-10 churn)",
+            "unsharded baseline",
+            messages=flat.message_stats().messages,
+            hub_batches=flat.nodes[HUB].stats.batches_processed,
+            hub_deltas=flat.nodes[HUB].stats.updates_processed,
+            seconds=round(flat_seconds, 3),
+        )
+        record(
+            "E12 sharded hub absorption (MINCOST star-10 churn)",
+            "4 shards, serial executor",
+            messages=serial.message_stats().messages,
+            hub_batches=serial.nodes[HUB].stats.batches_processed,
+            seconds=round(serial_seconds, 3),
+        )
+        record(
+            "E12 sharded hub absorption (MINCOST star-10 churn)",
+            "4 shards, 2 shard workers",
+            messages=threaded.message_stats().messages,
+            hub_batches=hub_stats.batches_processed,
+            hub_deltas=hub_stats.updates_processed,
+        )
+    finally:
+        for runtime in [serial] + threaded_runtimes:
+            runtime.close()

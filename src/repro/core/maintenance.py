@@ -302,6 +302,13 @@ class ProvenanceEngine:
         a prov entry exactly like :meth:`record_support`, ``sign < 0`` removes
         one like :meth:`remove_support` (the tag is ignored).  The whole batch
         bumps the node's provenance version at most once.
+
+        The batch is always the *logical node's* whole delta batch: when the
+        node's store is sharded, the per-shard sub-batches are merged back
+        before the support ops are built, so the provenance partition sees
+        one batch — and at most one version bump — per logical-node batch
+        regardless of the shard count (asserted by the sharding equivalence
+        suite via :meth:`version_of`).
         """
         if not ops:
             return
@@ -333,6 +340,30 @@ class ProvenanceEngine:
         return tags
 
     # -- statistics ----------------------------------------------------------------------
+
+    def version_of(self, node_id: object) -> int:
+        """The provenance version of one node's partition.
+
+        The version advances at most once per applied batch
+        (:meth:`NodeProvenanceStore.batched`), so two executions that absorb
+        the same logical batches — e.g. a sharded and an unsharded run of the
+        same workload — report identical versions here; tests use this to pin
+        the one-bump-per-batch invariant.
+
+        Purely a read accessor: asking about a node without a partition
+        raises instead of materialising an empty one.
+        """
+        store = self._stores.get(node_id)
+        if store is None:
+            raise ProvenanceError(f"no provenance partition recorded for node {node_id!r}")
+        return store.version
+
+    def versions(self) -> Dict[object, int]:
+        """Provenance versions of every known partition (sorted by node repr)."""
+        return {
+            node_id: store.version
+            for node_id, store in sorted(self._stores.items(), key=lambda item: repr(item[0]))
+        }
 
     def table_sizes(self) -> Dict[str, int]:
         """Total sizes of the distributed provenance tables."""

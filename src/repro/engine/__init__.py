@@ -18,6 +18,12 @@ from repro.engine.network import Link, Network
 from repro.engine.simulator import Simulator
 from repro.engine.node import Node
 from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.store import (
+    SerialShardExecutor,
+    ShardedTupleStore,
+    ThreadShardExecutor,
+    TupleStore,
+)
 from repro.engine.topology import Topology
 
 __all__ = [
@@ -31,5 +37,9 @@ __all__ = [
     "Simulator",
     "Node",
     "NetTrailsRuntime",
+    "TupleStore",
+    "ShardedTupleStore",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
     "Topology",
 ]

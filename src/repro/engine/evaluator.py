@@ -53,7 +53,7 @@ from repro.engine.dataflow import (
     match_atom,
     satisfies,
 )
-from repro.engine.store import TupleStore
+from repro.engine.store import SerialShardExecutor, ShardExecutor, TupleStore
 from repro.engine.tuples import Fact
 
 
@@ -112,12 +112,18 @@ class LocalEvaluator:
         store: TupleStore,
         node_id: object,
         aggregate_retract_first: bool = False,
+        shard_executor: Optional[ShardExecutor] = None,
     ):
         self._compiled = compiled
         self._store = store
         self._node = node_id
         self._registry = compiled.registry
         self._firing_seq = 0
+        #: Executor for the per-shard join passes of :meth:`on_batch`; only
+        #: consulted when the store is sharded (``store.num_shards > 1``).
+        self._shard_executor: ShardExecutor = (
+            shard_executor if shard_executor is not None else SerialShardExecutor()
+        )
         #: Ablation switch (see DESIGN.md §5): when True, aggregate changes are
         #: propagated as retract-then-insert instead of the default
         #: insert-then-retract ordering.  Only benchmarks should enable it.
@@ -236,20 +242,25 @@ class LocalEvaluator:
                     effects.extend(self._enable_unblocked_firings(rule, fact))
 
             # Phase 2 — insertions: one batch semi-naive pass per trigger.
+            # On a sharded store the join passes run per shard (possibly on a
+            # thread pool) and their firings are merged in shard order.
             by_relation: Dict[str, List[Fact]] = {}
             for fact in inserts:
                 by_relation.setdefault(fact.relation, []).append(fact)
             exclusions: Dict[str, Set[Fact]] = {
                 relation: set(facts) for relation, facts in by_relation.items()
             }
-            for relation, delta_facts in by_relation.items():
-                for rule, delta_index in self._compiled.delta_index.get(relation, []):
-                    self._prewarm_join_indexes(rule, delta_index)
-                    for fact in delta_facts:
-                        for bindings, body_facts in self._delta_bindings(
-                            rule, delta_index, fact, exclusions
-                        ):
-                            effects.extend(self._apply_firing(rule, bindings, body_facts))
+            if getattr(self._store, "num_shards", 1) > 1 and inserts:
+                effects.extend(self._sharded_insert_pass(inserts, by_relation, exclusions))
+            else:
+                for relation, delta_facts in by_relation.items():
+                    for rule, delta_index in self._compiled.delta_index.get(relation, []):
+                        self._prewarm_join_indexes(rule, delta_index)
+                        for fact in delta_facts:
+                            for bindings, body_facts in self._delta_bindings(
+                                rule, delta_index, fact, exclusions
+                            ):
+                                effects.extend(self._apply_firing(rule, bindings, body_facts))
             for relation, delta_facts in by_relation.items():
                 for rule in self._compiled.negation_index.get(relation, []):
                     for fact in delta_facts:
@@ -270,6 +281,62 @@ class LocalEvaluator:
     def recompute_effects_for_existing(self, fact: Fact) -> List[DerivationEffect]:
         """Alias of :meth:`on_fact_inserted`, used when replaying a store."""
         return self.on_fact_inserted(fact)
+
+    def _sharded_insert_pass(
+        self,
+        inserts: Sequence[Fact],
+        by_relation: Dict[str, List[Fact]],
+        exclusions: Dict[str, Set[Fact]],
+    ) -> List[DerivationEffect]:
+        """Run the batch semi-naive insert pass per shard, merging deterministically.
+
+        Applying a firing never changes the tuple store (only evaluator
+        bookkeeping), so the set of complete bindings triggered by a batch is
+        independent of the order firings are recorded in — which is what
+        allows the pass to be split into a read-only *enumeration* stage and
+        a serial *apply* stage:
+
+        1. every secondary index any trigger will probe is built up front
+           (index construction is the one store mutation joins would
+           otherwise race on);
+        2. each shard's share of the delta facts is joined against the whole
+           (cross-shard) store concurrently via the shard executor — the
+           enumeration only reads the store, the compiled program and the
+           shared exclusion sets;
+        3. the discovered bindings are turned into firings serially, shard by
+           shard in shard-index order, so firing ids, duplicate suppression
+           and deferred aggregate bookkeeping behave exactly as in a serial
+           pass over the same delta order.
+        """
+        for relation in by_relation:
+            for rule, delta_index in self._compiled.delta_index.get(relation, []):
+                self._prewarm_join_indexes(rule, delta_index)
+
+        num_shards = self._store.num_shards
+        shard_deltas: List[List[Fact]] = [[] for _ in range(num_shards)]
+        for fact in inserts:
+            shard_deltas[self._store.shard_index(fact)].append(fact)
+
+        def enumerate_shard(delta_facts: List[Fact]):
+            found = []
+            local_by_relation: Dict[str, List[Fact]] = {}
+            for fact in delta_facts:
+                local_by_relation.setdefault(fact.relation, []).append(fact)
+            for relation, facts in local_by_relation.items():
+                for rule, delta_index in self._compiled.delta_index.get(relation, []):
+                    for fact in facts:
+                        for bindings, body_facts in self._delta_bindings(
+                            rule, delta_index, fact, exclusions
+                        ):
+                            found.append((rule, bindings, body_facts))
+            return found
+
+        effects: List[DerivationEffect] = []
+        jobs = [delta_facts for delta_facts in shard_deltas if delta_facts]
+        for found in self._shard_executor.map(enumerate_shard, jobs):
+            for rule, bindings, body_facts in found:
+                effects.extend(self._apply_firing(rule, bindings, body_facts))
+        return effects
 
     # -- firing management ----------------------------------------------------------
 
@@ -340,6 +407,12 @@ class LocalEvaluator:
         once and pre-building the indexes up front means a batch pays index
         construction once per (relation, positions) pair instead of lazily
         inside the first :meth:`TupleStore.matching` scan of every join.
+
+        The plan also covers the rule's *negative* literals (probed by
+        :meth:`_finalize_binding` with every positive-join and assignment
+        variable bound), which keeps the whole join enumeration free of index
+        construction — the property the sharded batch pass relies on to run
+        enumeration concurrently over a store it only reads.
         """
         plan_key = (rule.name, delta_index)
         plan = self._prewarm_plans.get(plan_key)
@@ -350,12 +423,8 @@ class LocalEvaluator:
             def atom_variables(atom) -> Set[str]:
                 return {term.name for term in atom.terms if isinstance(term, Variable)}
 
-            bound_vars = atom_variables(positives[delta_index].atom)
-            for position in range(len(positives)):
-                if position == delta_index:
-                    continue
-                atom = positives[position].atom
-                positions = tuple(
+            def bound_index_positions(atom, bound_vars: Set[str]) -> Tuple[int, ...]:
+                return tuple(
                     sorted(
                         index
                         for index, term in enumerate(atom.terms)
@@ -363,8 +432,20 @@ class LocalEvaluator:
                         or (isinstance(term, Variable) and term.name in bound_vars)
                     )
                 )
-                plan.append((atom.relation, positions))
+
+            bound_vars = atom_variables(positives[delta_index].atom)
+            for position in range(len(positives)):
+                if position == delta_index:
+                    continue
+                atom = positives[position].atom
+                plan.append((atom.relation, bound_index_positions(atom, bound_vars)))
                 bound_vars |= atom_variables(atom)
+            for element in rule.body:
+                if isinstance(element, Assignment):
+                    bound_vars.add(element.variable)
+            for literal in rule.negative_literals:
+                atom = literal.atom
+                plan.append((atom.relation, bound_index_positions(atom, bound_vars)))
             self._prewarm_plans[plan_key] = plan
         for relation, positions in plan:
             self._store.prepare_index(relation, positions)

@@ -35,7 +35,9 @@ class NetTrailsRuntime:
     them through the simulated network.  Base tuples go in through
     :meth:`insert` / :meth:`insert_batch`, virtual time advances through
     :meth:`run` / :meth:`run_to_quiescence`, and global state comes back out
-    through :meth:`state`.
+    through :meth:`state`.  ``num_shards=K`` shards every node's store across
+    K hash partitions and ``shard_workers=N`` absorbs sharded delta batches
+    on N threads — same results, parallel hot-node batch absorption.
 
     >>> from repro.engine import topology
     >>> runtime = NetTrailsRuntime("r1 reach(@D, S) :- edge(@S, D).", topology.line(2))
@@ -55,6 +57,8 @@ class NetTrailsRuntime:
         program_name: Optional[str] = None,
         aggregate_retract_first: bool = False,
         batch_deltas: bool = True,
+        num_shards: Optional[int] = None,
+        shard_workers: int = 0,
     ):
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
@@ -81,6 +85,16 @@ class NetTrailsRuntime:
         #: ``False`` restores the historical per-delta path; the batching
         #: benchmarks construct one runtime of each kind and compare them.
         self.batch_deltas = batch_deltas
+        #: Per-node store sharding (see :class:`repro.engine.store.ShardedTupleStore`):
+        #: ``num_shards=K`` hash-partitions every node's relations across K
+        #: shards so a hot node can absorb a delta batch shard-parallel;
+        #: ``shard_workers=N`` (N > 1) absorbs the per-shard sub-batches and
+        #: runs the per-shard join passes on a thread pool.  The default
+        #: (``None`` / ``0``) is the flat, fully serial reference mode; every
+        #: configuration converges to bit-identical protocol state and
+        #: provenance tables.
+        self.num_shards = num_shards
+        self.shard_workers = shard_workers
         self.nodes: Dict[object, Node] = {}
         for name in topology.nodes:
             self.nodes[name] = Node(
@@ -90,6 +104,8 @@ class NetTrailsRuntime:
                 self.provenance,
                 aggregate_retract_first=aggregate_retract_first,
                 batch_deltas=batch_deltas,
+                num_shards=num_shards,
+                shard_workers=shard_workers,
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
@@ -281,6 +297,11 @@ class NetTrailsRuntime:
     @property
     def now(self) -> float:
         return self.simulator.now
+
+    def close(self) -> None:
+        """Release per-node shard worker threads (no-op without ``shard_workers``)."""
+        for node in self.nodes.values():
+            node.close()
 
     # -- state inspection -----------------------------------------------------------------
 

@@ -7,17 +7,104 @@ at least one derivation (a base insertion counts as the ``__base__``
 derivation).  Incremental deletion removes derivations; only when the last
 derivation disappears does the fact itself disappear, which is exactly the
 behaviour the ExSPAN maintenance engine relies on.
+
+Two store implementations share this contract:
+
+* :class:`TupleStore` — the flat single-partition store;
+* :class:`ShardedTupleStore` — a second horizontal partitioning *inside* one
+  logical node: facts are hash-partitioned by their key columns across K
+  worker shards (each shard is a private :class:`TupleStore` with its own
+  secondary indexes), while the sharded store itself presents the merged
+  single-store API.  Delta batches are split into per-shard sub-batches and
+  absorbed through a pluggable :class:`ShardExecutor` — serially in the
+  deterministic reference mode, or on a thread pool when a node is configured
+  with ``shard_workers=N``.  Because every fact hashes to exactly one shard,
+  the per-fact delta sub-sequences are preserved verbatim and the merged
+  result of :meth:`ShardedTupleStore.apply_delta_batch` is bit-identical to
+  the unsharded store's, whatever K and whichever executor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import zlib
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EngineError
 from repro.engine.tuples import Fact
 
 #: Synthetic derivation id used for base-tuple insertions.
 BASE_DERIVATION = "__base__"
+
+
+# ---------------------------------------------------------------------------
+# Shard executors
+# ---------------------------------------------------------------------------
+
+
+class ShardExecutor:
+    """Strategy for running independent per-shard jobs.
+
+    Implementations must return results in submission order — that order is
+    what makes the cross-shard merges of :class:`ShardedTupleStore` and
+    :meth:`repro.engine.evaluator.LocalEvaluator.on_batch` deterministic.
+    """
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any worker resources (threads); idempotent."""
+
+
+class SerialShardExecutor(ShardExecutor):
+    """The deterministic reference mode: shards are processed one by one."""
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return [fn(item) for item in items]
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Run per-shard jobs on a lazily-created thread pool.
+
+    Each shard's private store is only ever touched by the one job working on
+    that shard, so jobs share no mutable state; results are collected in
+    submission order, keeping the merge deterministic regardless of thread
+    scheduling.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise EngineError(f"ThreadShardExecutor needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._pool = None
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="shard"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def shard_hash(relation: str, key_values: Tuple[object, ...]) -> int:
+    """A process-independent hash of a fact's partitioning key.
+
+    Python's built-in ``hash`` is salted per process for strings, so it would
+    scatter the same fact to different shards across runs; CRC32 of the
+    canonical repr is stable, which is what makes shard assignment (and hence
+    sharded execution traces) reproducible.
+    """
+    return zlib.crc32(repr((relation, key_values)).encode("utf-8"))
 
 
 class TupleStore:
@@ -27,11 +114,28 @@ class TupleStore:
         self._facts: Dict[str, Dict[Fact, Set[str]]] = {}
         # (relation, positions) -> {projected values -> set of facts}
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple[object, ...], Set[Fact]]] = {}
+        # Memoized sorted non-empty relation names; invalidated only when a
+        # relation transitions between empty and non-empty, so the common
+        # relations() call is allocation- and sort-free.
+        self._relations_cache: Optional[List[str]] = None
 
     # -- basic accessors --------------------------------------------------------
 
     def relations(self) -> List[str]:
-        return sorted(relation for relation, facts in self._facts.items() if facts)
+        """Sorted names of the non-empty relations.
+
+        The sorted order is load-bearing: it is the deterministic iteration
+        order used by :meth:`snapshot` and by the cross-shard merges of
+        :class:`ShardedTupleStore`.  The result is memoized across calls and
+        recomputed only when a relation becomes (non-)empty.
+        """
+        if not self._facts:
+            return []
+        if self._relations_cache is None:
+            self._relations_cache = sorted(
+                relation for relation, facts in self._facts.items() if facts
+            )
+        return list(self._relations_cache)
 
     def facts(self, relation: str) -> Iterator[Fact]:
         yield from self._facts.get(relation, {})
@@ -62,6 +166,8 @@ class TupleStore:
         by_fact = self._facts.setdefault(fact.relation, {})
         existing = by_fact.get(fact)
         if existing is None:
+            if not by_fact:
+                self._relations_cache = None
             by_fact[fact] = {derivation_id}
             self._index_add(fact)
             return True
@@ -83,6 +189,8 @@ class TupleStore:
         if derivations:
             return False
         del by_fact[fact]
+        if not by_fact:
+            self._relations_cache = None
         self._index_remove(fact)
         return True
 
@@ -135,6 +243,8 @@ class TupleStore:
         if not by_fact or fact not in by_fact:
             return set()
         derivations = by_fact.pop(fact)
+        if not by_fact:
+            self._relations_cache = None
         self._index_remove(fact)
         return derivations
 
@@ -202,10 +312,184 @@ class TupleStore:
 
     def snapshot(self) -> Dict[str, List[Tuple[Tuple[object, ...], int]]]:
         """Return a serialisable snapshot: relation -> [(values, derivation count)]."""
-        result: Dict[str, List[Tuple[Tuple[object, ...], int]]] = {}
-        for relation in self.relations():
-            rows = []
-            for fact in sorted(self.facts(relation), key=lambda f: repr(f.values)):
-                rows.append((fact.values, self.derivation_count(fact)))
-            result[relation] = rows
-        return result
+        return _snapshot_of(self)
+
+
+def _snapshot_of(store) -> Dict[str, List[Tuple[Tuple[object, ...], int]]]:
+    """Canonical snapshot of any store implementing the TupleStore contract.
+
+    The row order is fully determined by the store *contents* (sorted
+    relations, then facts sorted by value repr), so sharded and unsharded
+    stores holding the same facts produce bit-identical snapshots.
+    """
+    result: Dict[str, List[Tuple[Tuple[object, ...], int]]] = {}
+    for relation in store.relations():
+        rows = []
+        for fact in sorted(store.facts(relation), key=lambda f: repr(f.values)):
+            rows.append((fact.values, store.derivation_count(fact)))
+        result[relation] = rows
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Sharded store
+# ---------------------------------------------------------------------------
+
+
+class ShardedTupleStore:
+    """A logical node's relations hash-partitioned across K worker shards.
+
+    Facts are routed by a stable hash of their partitioning key — by default
+    the full value tuple, but callers that know the relation catalog pass a
+    ``key_fn`` projecting the primary-key columns, so all versions of a keyed
+    row stay on one shard.  Each shard is a private :class:`TupleStore` with
+    its own lazily-built secondary indexes; the sharded store presents the
+    merged single-store API on top (scans and index lookups chain the shards
+    in shard order), so evaluators and queries are oblivious to K.
+
+    ``apply_delta_batch`` is the parallel entry point: the ordered batch is
+    split into per-shard sub-batches (each fact's deltas all land on its one
+    shard, preserving their relative order), the sub-batches are absorbed
+    through the configured :class:`ShardExecutor`, and the per-shard results
+    are merged back into the global batch order — the net-transition lists
+    and per-delta applied flags are bit-identical to a flat
+    :class:`TupleStore` absorbing the same batch.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        key_fn: Optional[Callable[[Fact], Tuple[object, ...]]] = None,
+        executor: Optional[ShardExecutor] = None,
+    ):
+        if num_shards < 1:
+            raise EngineError(f"a sharded store needs >= 1 shard, got {num_shards}")
+        self.num_shards = num_shards
+        self.shards: List[TupleStore] = [TupleStore() for _ in range(num_shards)]
+        self._key_fn = key_fn if key_fn is not None else (lambda fact: fact.values)
+        self._executor: ShardExecutor = executor if executor is not None else SerialShardExecutor()
+
+    # -- partitioning ------------------------------------------------------------
+
+    def shard_index(self, fact: Fact) -> int:
+        """The shard number *fact* is assigned to (stable across processes)."""
+        return shard_hash(fact.relation, self._key_fn(fact)) % self.num_shards
+
+    def shard_of(self, fact: Fact) -> TupleStore:
+        return self.shards[self.shard_index(fact)]
+
+    def split_delta_batch(
+        self, deltas: Iterable[Tuple[int, Fact, str]]
+    ) -> List[List[Tuple[int, int, Fact, str]]]:
+        """Split an ordered delta batch into per-shard sub-batches.
+
+        Each sub-batch entry carries the delta's position in the original
+        batch (``(original_index, sign, fact, derivation_id)``) so the merge
+        can restore global ordering for applied flags and first-transition
+        reporting.
+        """
+        per_shard: List[List[Tuple[int, int, Fact, str]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for position, (sign, fact, derivation_id) in enumerate(deltas):
+            per_shard[self.shard_index(fact)].append((position, sign, fact, derivation_id))
+        return per_shard
+
+    # -- basic accessors ----------------------------------------------------------
+
+    def relations(self) -> List[str]:
+        merged: Set[str] = set()
+        for shard in self.shards:
+            merged.update(shard.relations())
+        return sorted(merged)
+
+    def facts(self, relation: str) -> Iterator[Fact]:
+        for shard in self.shards:
+            yield from shard.facts(relation)
+
+    def all_facts(self) -> Iterator[Fact]:
+        for shard in self.shards:
+            yield from shard.all_facts()
+
+    def contains(self, fact: Fact) -> bool:
+        return self.shard_of(fact).contains(fact)
+
+    def count(self, relation: Optional[str] = None) -> int:
+        return sum(shard.count(relation) for shard in self.shards)
+
+    def derivations(self, fact: Fact) -> Set[str]:
+        return self.shard_of(fact).derivations(fact)
+
+    def derivation_count(self, fact: Fact) -> int:
+        return self.shard_of(fact).derivation_count(fact)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add_derivation(self, fact: Fact, derivation_id: str) -> bool:
+        return self.shard_of(fact).add_derivation(fact, derivation_id)
+
+    def remove_derivation(self, fact: Fact, derivation_id: str) -> bool:
+        return self.shard_of(fact).remove_derivation(fact, derivation_id)
+
+    def remove_fact(self, fact: Fact) -> Set[str]:
+        return self.shard_of(fact).remove_fact(fact)
+
+    def apply_delta_batch(
+        self, deltas: Iterable[Tuple[int, Fact, str]]
+    ) -> Tuple[List[Fact], List[Fact], List[bool]]:
+        """Absorb a batch shard-parallel; results match the flat store exactly.
+
+        See :meth:`TupleStore.apply_delta_batch` for the contract.  All of a
+        fact's deltas share its shard, so every per-fact delta sub-sequence is
+        replayed verbatim by exactly one shard; the merge orders net
+        transitions by each fact's first occurrence in the *global* batch and
+        scatters the applied flags back to their original positions, making
+        the result independent of both K and the executor.
+        """
+        per_shard = self.split_delta_batch(deltas)
+        jobs = [
+            (shard_number, sub_batch)
+            for shard_number, sub_batch in enumerate(per_shard)
+            if sub_batch
+        ]
+
+        def absorb(job):
+            shard_number, sub_batch = job
+            newly, gone, applied = self.shards[shard_number].apply_delta_batch(
+                (sign, fact, derivation_id) for _, sign, fact, derivation_id in sub_batch
+            )
+            return sub_batch, newly, gone, applied
+
+        total = sum(len(sub_batch) for _, sub_batch in jobs)
+        applied_flags: List[bool] = [False] * total
+        transitions: List[Tuple[int, int, Fact]] = []  # (first position, sign, fact)
+        for sub_batch, newly, gone, applied in self._executor.map(absorb, jobs):
+            for (position, _, _, _), flag in zip(sub_batch, applied):
+                applied_flags[position] = flag
+            first_seen: Dict[Fact, int] = {}
+            for position, _, fact, _ in sub_batch:
+                if fact not in first_seen:
+                    first_seen[fact] = position
+            transitions.extend((first_seen[fact], +1, fact) for fact in newly)
+            transitions.extend((first_seen[fact], -1, fact) for fact in gone)
+        transitions.sort(key=lambda item: item[0])
+        newly_present = [fact for _, sign, fact in transitions if sign > 0]
+        disappeared = [fact for _, sign, fact in transitions if sign < 0]
+        return newly_present, disappeared, applied_flags
+
+    # -- scans and indexes ----------------------------------------------------------
+
+    def matching(self, relation: str, bound: Dict[int, object]) -> Iterator[Fact]:
+        """Chain the shards' (index-accelerated) scans, in shard order."""
+        for shard in self.shards:
+            yield from shard.matching(relation, bound)
+
+    def prepare_index(self, relation: str, positions: Tuple[int, ...]) -> None:
+        for shard in self.shards:
+            shard.prepare_index(relation, positions)
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[Tuple[Tuple[object, ...], int]]]:
+        """Return the canonical snapshot (bit-identical to an unsharded store's)."""
+        return _snapshot_of(self)

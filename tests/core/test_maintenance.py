@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.keys import BASE_RID, vid_for
 from repro.core.maintenance import ProvenanceEngine
+from repro.errors import ProvenanceError
 from repro.engine import topology
 from repro.engine.tuples import Fact
 from repro.protocols import mincost, path_vector
@@ -19,6 +20,18 @@ class TestTableMaintenance:
         sizes = ring_runtime.provenance.table_sizes()
         assert sizes["prov"] > 0
         assert sizes["ruleExec"] > 0
+
+    def test_version_of_is_a_pure_read(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        assert provenance.version_of("n0") > 0
+        assert provenance.version_of("n0") == provenance.versions()["n0"]
+        # Probing an unknown node must raise, not materialise a phantom
+        # partition that would then show up in versions()/node_ids().
+        before = provenance.node_ids()
+        with pytest.raises(ProvenanceError):
+            provenance.version_of("no-such-node")
+        assert provenance.node_ids() == before
+        assert "no-such-node" not in provenance.versions()
 
     def test_every_stored_fact_has_a_prov_entry(self, ring_runtime):
         provenance = ring_runtime.provenance

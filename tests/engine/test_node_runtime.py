@@ -109,6 +109,30 @@ class TestNodeBehaviour:
         assert stats.rule_firings > 0
 
 
+class TestShardingConfiguration:
+    def test_num_shards_below_one_rejected(self):
+        with pytest.raises(EngineError):
+            NetTrailsRuntime(TWO_NODE_PROGRAM, topology.line(2), num_shards=0)
+
+    def test_shard_workers_without_num_shards_rejected(self):
+        # Workers have nothing to parallelise over on the flat store; silently
+        # running serial would make "parallel" benchmarks lie.
+        with pytest.raises(EngineError):
+            NetTrailsRuntime(TWO_NODE_PROGRAM, topology.line(2), shard_workers=4)
+
+    def test_sharded_runtime_converges_like_flat(self):
+        flat = NetTrailsRuntime(TWO_NODE_PROGRAM, topology.line(3), provenance=False)
+        sharded = NetTrailsRuntime(
+            TWO_NODE_PROGRAM, topology.line(3), provenance=False,
+            num_shards=2, shard_workers=2,
+        )
+        for runtime in (flat, sharded):
+            runtime.seed_links(run=True)
+        assert sharded.state("reach") == flat.state("reach")
+        assert sharded.num_shards == 2 and sharded.shard_workers == 2
+        sharded.close()
+
+
 class TestDynamicTopology:
     def test_add_link_updates_state(self):
         net = topology.line(3)

@@ -1,8 +1,16 @@
-"""Tests for the per-node tuple store."""
+"""Tests for the per-node tuple store and its sharded variant."""
+
+import random
 
 import pytest
 
-from repro.engine.store import BASE_DERIVATION, TupleStore
+from repro.engine.store import (
+    BASE_DERIVATION,
+    SerialShardExecutor,
+    ShardedTupleStore,
+    ThreadShardExecutor,
+    TupleStore,
+)
 from repro.engine.tuples import Fact
 
 
@@ -99,3 +107,158 @@ class TestSnapshot:
         store.add_derivation(fact, "d2")
         snapshot = store.snapshot()
         assert snapshot["link"] == [(("a", "b", 1), 2)]
+
+
+class TestRelationsMemoization:
+    """relations() is memoized; its sorted order drives the deterministic merge."""
+
+    def test_iteration_order_is_sorted_and_stable(self, store):
+        for relation in ("path", "link", "minCost", "bestHop"):
+            store.add_derivation(Fact.make(relation, ["a", "b"]), "d1")
+        expected = ["bestHop", "link", "minCost", "path"]
+        assert store.relations() == expected
+        # Memoized call returns the same content, and the caller mutating the
+        # returned list must not corrupt later calls.
+        first = store.relations()
+        first.append("bogus")
+        assert store.relations() == expected
+
+    def test_cache_tracks_empty_transitions(self, store):
+        store.add_derivation(link("a", "b"), "d1")
+        store.add_derivation(Fact.make("path", ["a", "b", 2]), "d2")
+        assert store.relations() == ["link", "path"]
+        # Adding more facts to a non-empty relation keeps the cached answer.
+        store.add_derivation(link("a", "c"), "d3")
+        assert store.relations() == ["link", "path"]
+        # Draining a relation removes it; re-populating restores it.
+        store.remove_derivation(link("a", "b"), "d1")
+        store.remove_derivation(link("a", "c"), "d3")
+        assert store.relations() == ["path"]
+        store.add_derivation(link("x", "y"), "d4")
+        assert store.relations() == ["link", "path"]
+        store.remove_fact(Fact.make("path", ["a", "b", 2]))
+        assert store.relations() == ["link"]
+
+    def test_empty_store_short_circuits(self):
+        assert TupleStore().relations() == []
+
+
+# ---------------------------------------------------------------------------
+# Sharded store
+# ---------------------------------------------------------------------------
+
+
+def distinct_shard_facts(sharded, count, relation="link"):
+    """Facts assigned to *count* pairwise-distinct shards of *sharded*."""
+    found = {}
+    for n in range(1000):
+        fact = Fact.make(relation, [f"s{n}", f"t{n}", 1])
+        found.setdefault(sharded.shard_index(fact), fact)
+        if len(found) == count:
+            return [found[index] for index in sorted(found)]
+    raise AssertionError(f"could not find facts on {count} distinct shards")
+
+
+class TestShardedStore:
+    def test_shard_assignment_is_stable(self):
+        first = ShardedTupleStore(4)
+        second = ShardedTupleStore(4)
+        for n in range(50):
+            fact = Fact.make("link", [f"a{n}", f"b{n}", n])
+            assert first.shard_index(fact) == second.shard_index(fact)
+            assert first.shard_index(fact) == first.shard_index(fact)
+            assert 0 <= first.shard_index(fact) < 4
+
+    def test_all_derivations_of_a_fact_share_a_shard(self):
+        sharded = ShardedTupleStore(4)
+        fact = link("a", "b")
+        sharded.add_derivation(fact, "d1")
+        sharded.add_derivation(fact, "d2")
+        owning = sharded.shard_of(fact)
+        assert owning.derivations(fact) == {"d1", "d2"}
+        assert sum(shard.count() for shard in sharded.shards) == 1
+        assert sharded.derivation_count(fact) == 2
+
+    def test_key_fn_routes_same_key_rows_to_one_shard(self):
+        # Partition by the (source, destination) key columns: all cost
+        # versions of one keyed link row must stay on one shard, so key-based
+        # overwrite (delete old row, insert new row) never crosses shards.
+        sharded = ShardedTupleStore(4, key_fn=lambda fact: fact.values[:2])
+        for cost in range(10):
+            assert sharded.shard_index(link("a", "b", cost)) == sharded.shard_index(
+                link("a", "b", 0)
+            )
+
+    def test_cross_shard_index_lookups_match_flat_store(self):
+        sharded = ShardedTupleStore(4)
+        flat = TupleStore()
+        rng = random.Random(5)
+        for n in range(60):
+            fact = Fact.make("link", [f"a{rng.randrange(4)}", f"b{n}", rng.randrange(3)])
+            sharded.add_derivation(fact, "d1")
+            flat.add_derivation(fact, "d1")
+        sharded.prepare_index("link", (0,))
+        for source in ("a0", "a1", "a2", "a3"):
+            assert set(sharded.matching("link", {0: source})) == set(
+                flat.matching("link", {0: source})
+            )
+        assert set(sharded.matching("link", {0: "a1", 2: 1})) == set(
+            flat.matching("link", {0: "a1", 2: 1})
+        )
+        assert sharded.relations() == flat.relations()
+        assert sharded.count() == flat.count()
+        assert sharded.snapshot() == flat.snapshot()
+
+    @pytest.mark.parametrize("executor", [None, "serial", "threaded"])
+    def test_delta_batches_bit_identical_to_flat_store(self, executor):
+        executors = {
+            None: None,
+            "serial": SerialShardExecutor(),
+            "threaded": ThreadShardExecutor(2),
+        }
+        sharded = ShardedTupleStore(4, executor=executors[executor])
+        flat = TupleStore()
+        rng = random.Random(17)
+        derivations = [f"d{n}" for n in range(4)]
+        for _ in range(5):
+            batch = []
+            for _ in range(40):
+                sign = 1 if rng.random() < 0.6 else -1
+                fact = Fact.make("link", [f"a{rng.randrange(5)}", f"b{rng.randrange(5)}", 1])
+                batch.append((sign, fact, rng.choice(derivations)))
+            assert sharded.apply_delta_batch(list(batch)) == flat.apply_delta_batch(
+                list(batch)
+            )
+            assert sharded.snapshot() == flat.snapshot()
+        if executor == "threaded":
+            executors[executor].close()
+
+    def test_last_derivation_deleted_on_different_shard_than_first_insertion(self):
+        # An overwrite-style batch touching two shards: the old row's last
+        # derivation disappears on one shard while the replacement row first
+        # appears on another; the merged net transitions must interleave the
+        # shards' reports in global batch order, exactly like the flat store.
+        sharded = ShardedTupleStore(3)
+        old_row, new_row = distinct_shard_facts(sharded, 2)
+        assert sharded.shard_index(old_row) != sharded.shard_index(new_row)
+
+        newly, gone, applied = sharded.apply_delta_batch(
+            [(+1, old_row, "d1"), (+1, old_row, "d2")]
+        )
+        assert (newly, gone, applied) == ([old_row], [], [True, True])
+
+        # First delete drops one derivation (no disappearance), the
+        # cross-shard insert and the final delete land in one batch.
+        newly, gone, applied = sharded.apply_delta_batch(
+            [(-1, old_row, "d1"), (+1, new_row, "d3"), (-1, old_row, "d2")]
+        )
+        assert newly == [new_row]
+        assert gone == [old_row]
+        assert applied == [True, True, True]
+        assert not sharded.contains(old_row)
+        assert sharded.derivation_count(new_row) == 1
+
+        # Deleting a derivation that was never applied stays idempotent
+        # across the shard boundary.
+        newly, gone, applied = sharded.apply_delta_batch([(-1, old_row, "ghost")])
+        assert (newly, gone, applied) == ([], [], [False])

@@ -18,25 +18,14 @@ from repro.engine.runtime import NetTrailsRuntime
 from repro.protocols import distance_vector, mincost, path_vector
 
 
-def provenance_fingerprint(runtime):
-    """A canonical representation of the distributed provenance tables."""
-    rows = set()
-    provenance = runtime.provenance
-    for node_id in runtime.node_ids():
-        store = provenance.store(node_id)
-        for row in store.prov_table():
-            rows.add(("prov",) + row)
-        for loc, rid, rule, program, children in store.rule_exec_table():
-            rows.add(("ruleExec", loc, rid, rule, program, tuple(children)))
-    return rows
+# The equivalence canonicalisers (provenance_fingerprint, global_state,
+# store_snapshots) live in tests/conftest.py and are requested as fixtures;
+# the sharding equivalence harness (tests/property/test_property_sharding.py)
+# shares the same definitions.
 
 
 def fresh_runtime(module, net):
     return module.setup(copy.deepcopy(net))
-
-
-def global_state(runtime, relations):
-    return {relation: sorted(runtime.state(relation), key=repr) for relation in relations}
 
 
 CHANGE_SCRIPTS = {
@@ -76,7 +65,9 @@ class TestIncrementalEqualsScratch:
         ],
         ids=["mincost", "path_vector", "distance_vector"],
     )
-    def test_state_and_provenance_match_fresh_run(self, module, relations, script_name):
+    def test_state_and_provenance_match_fresh_run(
+        self, module, relations, script_name, global_state, provenance_fingerprint
+    ):
         net = topology.random_connected(8, edge_probability=0.35, seed=13)
         incremental = module.setup(net)
         apply_script(incremental, net, CHANGE_SCRIPTS[script_name])
@@ -107,7 +98,9 @@ class TestBatchEqualsSingleton:
         ],
         ids=["mincost", "path_vector", "distance_vector"],
     )
-    def test_batched_equals_per_delta_runtime(self, module, relations, script_name):
+    def test_batched_equals_per_delta_runtime(
+        self, module, relations, script_name, global_state, provenance_fingerprint
+    ):
         def build(batch_deltas):
             net = topology.random_connected(8, edge_probability=0.35, seed=13)
             runtime = NetTrailsRuntime(module.program(), net, batch_deltas=batch_deltas)
@@ -125,7 +118,7 @@ class TestBatchEqualsSingleton:
         assert batched.simulator.processed_events <= per_delta.simulator.processed_events
 
     @pytest.mark.parametrize("seed", [1, 7, 23])
-    def test_random_bulk_batches_equal_singleton_replay(self, seed):
+    def test_random_bulk_batches_equal_singleton_replay(self, seed, provenance_fingerprint):
         """Property-style: random insert/delete batches vs one-at-a-time."""
         rng = random.Random(seed)
         net = topology.ring(6)
@@ -164,7 +157,7 @@ class TestBatchEqualsSingleton:
 
 
 class TestInsertDeleteRoundTrip:
-    def test_insert_then_delete_returns_to_original(self):
+    def test_insert_then_delete_returns_to_original(self, global_state, provenance_fingerprint):
         net = topology.ring(6)
         runtime = mincost.setup(net)
         original_state = global_state(runtime, ["path", "minCost"])
