@@ -1,0 +1,180 @@
+"""Emit the benchmark-trajectory JSON consumed by the CI perf gate.
+
+Runs compact, deterministic versions of the headline experiments —
+
+* **E11** batch-first delta evaluation (batched vs per-fact churn),
+* **E12** sharded hub absorption (4 shards vs flat on a star hub),
+* **E13** concurrent node-drain backends (thread/asyncio vs serial on a
+  multi-hub AS hierarchy) —
+
+and writes one flat JSON document of named metrics (message counts,
+simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
+job uploads the document as a build artifact, which makes the performance
+trajectory of the repository inspectable per commit, and gates merges by
+comparing against the committed baseline:
+
+    python benchmarks/emit_bench_json.py --out BENCH_${GITHUB_RUN_ID}.json \
+        --check benchmarks/bench_baseline.json
+
+A *gated* metric fails the check when it regresses by more than the
+tolerance (default 20%).  Count metrics (messages / events / rounds) are
+gated: the engine is deterministic, so any drift is a real behavioural
+change.  Wall-clock metrics are recorded for the artifact trail but not
+gated — shared CI runners are too noisy for absolute-time gates; the
+relative speedup assertions live in the pytest benchmarks (e.g. E13's
+thread-vs-serial bound), which the same CI job runs first.
+
+Refresh the baseline after an intentional perf-trajectory change with:
+
+    python benchmarks/emit_bench_json.py --out benchmarks/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from test_e11_batching import run_churn  # noqa: E402
+from test_e12_sharding import HUB, run_hub_churn  # noqa: E402
+from test_e13_backends import run_multi_hub_churn  # noqa: E402
+
+#: Metrics whose names end with one of these suffixes are wall-clock and
+#: therefore recorded but never gated.
+UNGATED_SUFFIXES = (".seconds",)
+
+
+def _metric(value, gate=True):
+    return {"value": value, "gate": gate}
+
+
+def collect_metrics() -> dict:
+    """Run the trajectory workloads; return {metric_name: {value, gate}}."""
+    metrics = {}
+
+    # E11 — batch-first churn absorption, batched vs per-fact reference.
+    start = time.perf_counter()
+    batched, deltas = run_churn(batch_deltas=True)
+    batched_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    per_fact, _ = run_churn(batch_deltas=False)
+    per_fact_seconds = time.perf_counter() - start
+    metrics["e11.deltas"] = _metric(deltas)
+    metrics["e11.batched.messages"] = _metric(batched.message_stats().messages)
+    metrics["e11.batched.events"] = _metric(batched.simulator.processed_events)
+    metrics["e11.batched.rounds"] = _metric(batched.simulator.rounds)
+    metrics["e11.batched.seconds"] = _metric(round(batched_seconds, 3), gate=False)
+    metrics["e11.per_fact.messages"] = _metric(per_fact.message_stats().messages)
+    metrics["e11.per_fact.events"] = _metric(per_fact.simulator.processed_events)
+    metrics["e11.per_fact.seconds"] = _metric(round(per_fact_seconds, 3), gate=False)
+
+    # E12 — sharded hub absorption: sharding must stay invisible on the wire.
+    start = time.perf_counter()
+    with run_hub_churn(num_shards=4, shard_workers=2) as sharded:
+        sharded_seconds = time.perf_counter() - start
+        metrics["e12.sharded.messages"] = _metric(sharded.message_stats().messages)
+        metrics["e12.sharded.events"] = _metric(sharded.simulator.processed_events)
+        metrics["e12.sharded.hub_batches"] = _metric(
+            sharded.nodes[HUB].stats.batches_processed
+        )
+        metrics["e12.sharded.seconds"] = _metric(round(sharded_seconds, 3), gate=False)
+
+    # E13 — concurrent node-drain backends on the multi-hub AS hierarchy.
+    serial = run_multi_hub_churn("serial")
+    threaded = run_multi_hub_churn("thread")
+    metrics["e13.messages"] = _metric(serial["messages"])
+    metrics["e13.events"] = _metric(serial["events"])
+    metrics["e13.rounds"] = _metric(serial["rounds"])
+    metrics["e13.serial.seconds"] = _metric(round(serial["seconds"], 3), gate=False)
+    metrics["e13.thread.seconds"] = _metric(round(threaded["seconds"], 3), gate=False)
+    metrics["e13.thread.speedup"] = _metric(
+        round(serial["seconds"] / threaded["seconds"], 2), gate=False
+    )
+    if threaded["messages"] != serial["messages"] or threaded["events"] != serial["events"]:
+        raise SystemExit(
+            "E13 invariant violated: thread backend message/event counts "
+            f"differ from serial ({threaded['messages']}/{threaded['events']} "
+            f"vs {serial['messages']}/{serial['events']})"
+        )
+    return metrics
+
+
+def check_against_baseline(metrics: dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for name, entry in sorted(baseline["metrics"].items()):
+        if not entry.get("gate", True) or name.endswith(UNGATED_SUFFIXES):
+            continue
+        if name not in metrics:
+            failures.append(f"{name}: present in baseline but not measured any more")
+            continue
+        old = entry["value"]
+        new = metrics[name]["value"]
+        if old and new > old * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {new} regressed >{tolerance:.0%} vs baseline {old}"
+            )
+        elif old and new < old * (1.0 - tolerance):
+            print(
+                f"note: {name} improved to {new} (baseline {old}); "
+                "consider refreshing benchmarks/bench_baseline.json"
+            )
+    if failures:
+        print("benchmark-trajectory regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    gated = sum(
+        1
+        for name, entry in baseline["metrics"].items()
+        if entry.get("gate", True) and not name.endswith(UNGATED_SUFFIXES)
+    )
+    print(f"benchmark-trajectory gate OK ({gated} gated metrics within {tolerance:.0%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", required=True, help="path of the BENCH json to write")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="fail (exit 1) on >tolerance regression vs this committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative regression for gated metrics (default 0.20)",
+    )
+    parser.add_argument(
+        "--run-label",
+        default=os.environ.get("GITHUB_RUN_ID", "local"),
+        help="identifier recorded in the document (default: $GITHUB_RUN_ID or 'local')",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = collect_metrics()
+    document = {
+        "run": args.run_label,
+        "generated_by": "benchmarks/emit_bench_json.py",
+        "tolerance": args.tolerance,
+        "metrics": metrics,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(metrics)} metrics)")
+
+    if args.check:
+        return check_against_baseline(metrics, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

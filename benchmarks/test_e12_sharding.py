@@ -42,6 +42,8 @@ def run_hub_churn(num_shards=None, shard_workers=0):
 
 
 def test_threaded_shard_absorption_keeps_message_counts(benchmark, record):
+    from contextlib import ExitStack
+
     start = time.perf_counter()
     flat = run_hub_churn()
     flat_seconds = time.perf_counter() - start
@@ -50,16 +52,14 @@ def test_threaded_shard_absorption_keeps_message_counts(benchmark, record):
     serial = run_hub_churn(num_shards=4)
     serial_seconds = time.perf_counter() - start
 
-    threaded_runtimes = []
+    with ExitStack() as stack:
+        stack.enter_context(serial)
 
-    def run_threaded():
-        runtime = run_hub_churn(num_shards=4, shard_workers=2)
-        threaded_runtimes.append(runtime)  # every round's pools get closed below
-        return runtime
+        def run_threaded():
+            # every round's worker pools are registered for closing
+            return stack.enter_context(run_hub_churn(num_shards=4, shard_workers=2))
 
-    threaded = benchmark.pedantic(run_threaded, rounds=2, iterations=1)
-
-    try:
+        threaded = benchmark.pedantic(run_threaded, rounds=2, iterations=1)
         hub_store = threaded.nodes[HUB].store
         assert isinstance(hub_store, ShardedTupleStore)
         assert sum(shard.count() for shard in hub_store.shards) == hub_store.count()
@@ -105,6 +105,3 @@ def test_threaded_shard_absorption_keeps_message_counts(benchmark, record):
             hub_batches=hub_stats.batches_processed,
             hub_deltas=hub_stats.updates_processed,
         )
-    finally:
-        for runtime in [serial] + threaded_runtimes:
-            runtime.close()

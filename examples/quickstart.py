@@ -62,15 +62,26 @@ def main() -> None:
 
     # 5. Hot-node scaling: shard every node's store across 4 hash partitions
     #    and absorb delta batches on 2 worker threads — bit-identical results.
-    sharded = NetTrailsRuntime(mincost.program(), topology.star(10),
-                               num_shards=4, shard_workers=2)
-    sharded.seed_links(run=True)
+    #    The runtime is a context manager, so the worker threads cannot leak.
     flat = NetTrailsRuntime(mincost.program(), topology.star(10))
     flat.seed_links(run=True)
-    assert sharded.state("minCost") == flat.state("minCost")
-    print(f"\nSharded star-10 run (4 shards, 2 workers): "
-          f"{len(sharded.state('minCost'))} minCost rows, identical to unsharded")
-    sharded.close()
+    with NetTrailsRuntime(mincost.program(), topology.star(10),
+                          num_shards=4, shard_workers=2) as sharded:
+        sharded.seed_links(run=True)
+        assert sharded.state("minCost") == flat.state("minCost")
+        print(f"\nSharded star-10 run (4 shards, 2 workers): "
+              f"{len(sharded.state('minCost'))} minCost rows, identical to unsharded")
+
+    # 6. Concurrent execution backend: drain independent nodes' delta waves
+    #    on a thread pool (or asyncio: backend="asyncio") — same state,
+    #    messages and provenance as the deterministic serial reference.
+    with NetTrailsRuntime(mincost.program(), topology.star(10),
+                          backend="thread", backend_workers=4) as threaded:
+        threaded.seed_links(run=True)
+        assert threaded.state("minCost") == flat.state("minCost")
+        assert threaded.message_stats().messages == flat.message_stats().messages
+        print(f"Thread-backend star-10 run: {len(threaded.state('minCost'))} "
+              f"minCost rows, identical state and message counts")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from repro.errors import ProvenanceError
 from repro.core.graph import ProvenanceGraph

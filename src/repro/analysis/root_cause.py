@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.errors import ProvenanceError
 from repro.core.graph import ProvenanceGraph, TupleVertex
-from repro.core.keys import vid_for
 from repro.engine.tuples import Fact
 
 

@@ -26,8 +26,9 @@ node a query step executes on, preserving the distribution semantics.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProvenanceError, UnknownVertexError
@@ -213,26 +214,46 @@ class ProvenanceEngine:
     def __init__(self, compiled: Optional[CompiledProgram] = None):
         self.compiled = compiled
         self._stores: Dict[object, NodeProvenanceStore] = {}
-        #: (node, fact, derivation_id) -> ProvEntry, so retractions can find
-        #: exactly the prov row that the corresponding insertion created.
-        self._support_index: Dict[Tuple[object, Fact, str], ProvEntry] = {}
+        #: node -> (fact, derivation_id) -> ProvEntry, so retractions can find
+        #: exactly the prov row that the corresponding insertion created.  The
+        #: index is partitioned per node (like the stores themselves) so the
+        #: recorder protocol stays single-writer per node when a concurrent
+        #: execution backend drains distinct nodes in parallel.
+        self._support_index: Dict[object, Dict[Tuple[Fact, str], ProvEntry]] = {}
         self.events_processed = 0
+        # Guards the shared registry (lazy store creation, node enumeration)
+        # and the events_processed counter; the per-node stores themselves
+        # need no locking because each is only ever written by its node's
+        # (serialized) events.
+        self._registry_lock = threading.Lock()
+
+    def _count_event(self) -> None:
+        with self._registry_lock:
+            self.events_processed += 1
 
     # -- store access -------------------------------------------------------------
 
     def store(self, node_id: object) -> NodeProvenanceStore:
-        if node_id not in self._stores:
-            self._stores[node_id] = NodeProvenanceStore(node_id)
-        return self._stores[node_id]
+        store = self._stores.get(node_id)
+        if store is None:
+            with self._registry_lock:
+                store = self._stores.get(node_id)
+                if store is None:
+                    store = NodeProvenanceStore(node_id)
+                    self._stores[node_id] = store
+                    self._support_index[node_id] = {}
+        return store
 
     def node_ids(self) -> List[object]:
-        return sorted(self._stores, key=repr)
+        with self._registry_lock:
+            known = list(self._stores)
+        return sorted(known, key=repr)
 
     # -- recorder protocol (called by the execution engine) --------------------------
 
     def record_rule_exec(self, exec_node: object, effect: DerivationEffect) -> ProvenanceTag:
         """Record one rule firing at *exec_node*; return the tag to ship with the head."""
-        self.events_processed += 1
+        self._count_event()
         store = self.store(exec_node)
         child_vids = []
         for fact in effect.body_facts:
@@ -258,7 +279,7 @@ class ProvenanceEngine:
 
     def remove_rule_exec(self, exec_node: object, effect: DerivationEffect) -> None:
         """Remove the rule-execution entry for a retracted firing."""
-        self.events_processed += 1
+        self._count_event()
         store = self.store(exec_node)
         child_vids = [vid_for(fact) for fact in effect.body_facts]
         rid = rid_for(effect.rule_name, exec_node, child_vids)
@@ -272,22 +293,23 @@ class ProvenanceEngine:
         tag: Optional[ProvenanceTag],
     ) -> None:
         """Record one derivation (prov entry) of *fact* at its home node."""
-        self.events_processed += 1
+        self._count_event()
         store = self.store(node_id)
         vid = store.record_tuple(fact)
         if tag is None or derivation_id == BASE_DERIVATION:
             entry = store.add_prov(vid, BASE_RID, node_id)
         else:
             entry = store.add_prov(vid, tag.rid, tag.exec_node)
-        self._support_index[(node_id, fact, derivation_id)] = entry
+        self._support_index[node_id][(fact, derivation_id)] = entry
 
     def remove_support(self, node_id: object, fact: Fact, derivation_id: str) -> None:
         """Remove the prov entry created for (*fact*, *derivation_id*) at *node_id*."""
-        self.events_processed += 1
-        entry = self._support_index.pop((node_id, fact, derivation_id), None)
+        self._count_event()
+        store = self.store(node_id)
+        entry = self._support_index[node_id].pop((fact, derivation_id), None)
         if entry is None:
             return
-        self.store(node_id).remove_prov(entry)
+        store.remove_prov(entry)
 
     # -- batched recorder protocol (used by the batch-first execution path) -----------
 

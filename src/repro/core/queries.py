@@ -22,9 +22,9 @@ answers every query type.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Callable, FrozenSet, Sequence
 
-from repro.core.graph import ProvenanceGraph, RuleExecVertex, TupleVertex
+from repro.core.graph import ProvenanceGraph, TupleVertex
 from repro.core.results import TupleRef
 
 QUERY_LINEAGE = "lineage"

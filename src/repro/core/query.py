@@ -21,13 +21,22 @@ one :class:`QueryReplyBatch` — minimising both communication rounds
 (:attr:`QueryStats.rounds <repro.core.results.QueryStats>`) and per-peer
 message count.  Sequential traversal instead dispatches one alternative at
 a time so threshold pruning can skip the rest.
+
+Under a concurrent execution backend (``backend="thread"`` / ``"asyncio"``,
+see :mod:`repro.engine.backends`) the parallel fan-out parallelises in real
+time too: the request batches to distinct peers arrive in one simulator
+wave, and because deliveries are serialized per *receiving* node, the peers
+resolve their sub-traversals on separate workers while each node's agent
+state stays single-writer.  Answers, message counts and rounds are
+bit-identical to the serial reference either way.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError
 from repro.engine.messages import (
@@ -584,6 +593,11 @@ class DistributedQueryEngine:
         for node_id, node in runtime.nodes.items():
             self._agents[node_id] = QueryAgent(node, self)
         self._completions: Dict[str, _Bundle] = {}
+        # Root completions may be recorded from a concurrent backend's worker
+        # threads (a root frame finishing inside a wave); the lock keeps the
+        # completion map coherent without constraining per-node agent state,
+        # which stays single-writer under the backend scheduling contract.
+        self._completions_lock = threading.Lock()
         self._query_seq = itertools.count(1)
 
     # -- reducers ---------------------------------------------------------------------
@@ -609,7 +623,8 @@ class DistributedQueryEngine:
         return self._agents[node_id]
 
     def _finish_root(self, root_key: str, bundle: _Bundle) -> None:
-        self._completions[root_key] = bundle
+        with self._completions_lock:
+            self._completions[root_key] = bundle
 
     # -- query API ---------------------------------------------------------------------------
 
@@ -651,7 +666,8 @@ class DistributedQueryEngine:
             self._agents[at].start_remote_root(query_id, vid, location, mode, options, root_key)
 
         self.runtime.run_to_quiescence()
-        bundle = self._completions.pop(root_key, None)
+        with self._completions_lock:
+            bundle = self._completions.pop(root_key, None)
         if bundle is None:
             raise QueryError(f"query {query_id} did not complete")
 

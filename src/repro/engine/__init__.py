@@ -12,6 +12,13 @@ distributed system.
 """
 
 from repro.engine.tuples import Fact, Schema
+from repro.engine.backends import (
+    AsyncioBackend,
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.engine.catalog import Catalog
 from repro.engine.compiler import CompiledProgram, compile_program
 from repro.engine.network import Link, Network
@@ -29,6 +36,11 @@ from repro.engine.topology import Topology
 __all__ = [
     "Fact",
     "Schema",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "AsyncioBackend",
+    "resolve_backend",
     "Catalog",
     "CompiledProgram",
     "compile_program",

@@ -1,0 +1,300 @@
+"""Pluggable execution backends for the discrete-event simulator.
+
+The deterministic :class:`~repro.engine.simulator.Simulator` owns the clock
+and the event queue; *how* the events of one virtual instant are executed is
+delegated to an :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — the reference mode (and the default): events run
+  one at a time in ``(time, sequence)`` order, exactly as the seed simulator
+  always has.
+* :class:`ThreadPoolBackend` — same-instant events whose serialization keys
+  differ (in practice: drains and deliveries of *distinct* nodes) run
+  concurrently on a thread pool.
+* :class:`AsyncioBackend` — the same scheduling contract driven through a
+  persistent asyncio event loop, for embedding the engine in async hosts.
+
+Scheduling contract (every backend)
+-----------------------------------
+
+1. The simulator pops one **wave** — every queued event sharing the earliest
+   virtual time — in sequence order.
+2. Each event carries an optional **serialization key** (see the ``key=``
+   parameter of :meth:`Simulator.schedule`).  Events with the same key are
+   executed in sequence order by a single worker; events with *different*
+   keys may execute concurrently.  Node drains are keyed by the draining
+   node and message deliveries by the receiving node, so each node's store,
+   evaluator and provenance partition stay single-writer.
+3. An event **without** a key is a barrier: everything scheduled before it
+   finishes first, then the event runs alone, then the rest of the wave
+   proceeds.  (Log-store snapshot captures, which read every node, use
+   this.)
+4. While a keyed event executes concurrently, its outward side effects —
+   ``Simulator.schedule`` calls and ``Network.send`` dispatches — are not
+   applied immediately: they are appended to a per-event effect buffer (a
+   thread-confined queue, so no locks are needed on the hot path) and
+   **merged after the wave in event-sequence order** on the coordinating
+   thread.
+
+Because in serial execution an event's side effects all land before the next
+event's (and same-instant events never observe one another's queue pushes),
+the deferred merge reproduces the serial heap contents, sequence numbering,
+message ordering and traffic statistics *bit for bit*.  Every backend is
+therefore indistinguishable from :class:`SerialBackend` on store snapshots,
+provenance tables, message/event counts and query answers — the equivalence
+suite (``tests/property/test_property_backends.py``) sweeps backends × shard
+counts to pin this.
+
+Backend selection is uniform across the API surface: pass ``backend=`` /
+``backend_workers=`` to :class:`~repro.engine.runtime.NetTrailsRuntime`, or
+set the ``NETTRAILS_BACKEND`` environment variable (``serial`` | ``thread``
+| ``asyncio``) to change the default process-wide — the CI property matrix
+runs the whole suite under each value.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us)
+    from repro.engine.simulator import Simulator, _ScheduledEvent
+
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "NETTRAILS_BACKEND"
+
+
+class ExecutionBackend:
+    """Strategy for executing the events of one virtual-time wave."""
+
+    #: Short name used by :func:`resolve_backend` and ``NETTRAILS_BACKEND``.
+    name = "abstract"
+
+    def execute_wave(self, simulator: "Simulator", limit: Optional[int] = None) -> int:
+        """Execute (up to *limit* of) the events at the earliest queued time.
+
+        Returns the number of events executed.  Implementations must preserve
+        the serial observable semantics described in the module docstring.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (threads, event loops); idempotent."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """The deterministic reference mode: one event at a time, in order."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None):
+        # ``workers`` is accepted (and ignored) so every backend shares one
+        # constructor signature; serial execution has nothing to fan out.
+        self.workers = 1
+
+    def execute_wave(self, simulator: "Simulator", limit: Optional[int] = None) -> int:
+        return 1 if simulator.step() else 0
+
+
+class _ConcurrentBackend(ExecutionBackend):
+    """Shared wave partitioning and deterministic effect merging.
+
+    Subclasses provide :meth:`_map`, which runs one callable per key group
+    with whatever concurrency mechanism they implement.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise EngineError(f"{type(self).__name__} needs >= 1 worker, got {workers}")
+        self.workers = workers or min(8, os.cpu_count() or 2)
+
+    # -- wave execution -----------------------------------------------------
+
+    def execute_wave(self, simulator: "Simulator", limit: Optional[int] = None) -> int:
+        wave = simulator._take_wave(limit)
+        index = 0
+        while index < len(wave):
+            if wave[index].key is None:
+                # Barrier event: may touch global state (e.g. snapshot every
+                # node), so it runs alone between concurrent segments.
+                wave[index].callback()
+                index += 1
+                continue
+            end = index
+            while end < len(wave) and wave[end].key is not None:
+                end += 1
+            self._execute_segment(simulator, wave[index:end])
+            index = end
+        return len(wave)
+
+    def _execute_segment(self, simulator: "Simulator", events: Sequence["_ScheduledEvent"]) -> None:
+        groups: Dict[object, List["_ScheduledEvent"]] = {}
+        for event in events:
+            groups.setdefault(event.key, []).append(event)
+        if len(groups) == 1:
+            # One serialization domain (e.g. a single-node topology): running
+            # inline *is* the serial order, no deferral machinery needed.
+            for event in events:
+                event.callback()
+            return
+
+        def run_group(
+            group: List["_ScheduledEvent"],
+        ) -> List[Tuple[int, List[Callable[[], None]]]]:
+            finished = []
+            for event in group:
+                buffer: List[Callable[[], None]] = []
+                simulator._execute_event_deferred(event, buffer)
+                finished.append((event.sequence, buffer))
+            return finished
+
+        results = self._map(run_group, list(groups.values()))
+        # The deterministic merge: flush every deferred side effect (schedule
+        # calls, network sends) in the order the events were *popped*, which
+        # is the order serial execution would have applied them in.
+        pending = [pair for result in results for pair in result]
+        pending.sort(key=lambda pair: pair[0])
+        for _, buffer in pending:
+            for thunk in buffer:
+                thunk()
+
+    def _map(self, fn: Callable, groups: List) -> List:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadPoolBackend(_ConcurrentBackend):
+    """Drain independent nodes' same-instant events on a thread pool.
+
+    The pool is created lazily (a run that never produces a multi-key wave
+    never spawns a thread) and released by :meth:`close` — reached through
+    ``NetTrailsRuntime.close()`` or the runtime's context manager.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers)
+        self._pool = None
+
+    def _map(self, fn: Callable, groups: List) -> List:
+        # _execute_segment runs single-group segments inline, so this is
+        # only reached with >= 2 groups to overlap.
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="nettrails-wave"
+            )
+        return list(self._pool.map(fn, groups))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class AsyncioBackend(_ConcurrentBackend):
+    """The thread-pool scheduling contract surfaced through asyncio.
+
+    A persistent event loop runs in one daemon thread; every key group of a
+    wave becomes an awaitable (``loop.run_in_executor``) and the wave is an
+    ``asyncio.gather`` over them.  This is the integration point for hosting
+    the engine inside an async application (the group callables themselves
+    stay synchronous — they execute evaluator code).
+    """
+
+    name = "asyncio"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(workers)
+        self._loop = None
+        self._loop_thread = None
+        self._pool = None
+
+    def _ensure_loop(self) -> None:
+        if self._loop is not None:
+            return
+        import asyncio
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="nettrails-asyncio"
+        )
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, name="nettrails-loop", daemon=True)
+        thread.start()
+        self._loop = loop
+        self._loop_thread = thread
+
+    def _map(self, fn: Callable, groups: List) -> List:
+        import asyncio
+
+        self._ensure_loop()
+
+        async def gather_groups():
+            loop = asyncio.get_running_loop()
+            futures = [loop.run_in_executor(self._pool, fn, group) for group in groups]
+            return await asyncio.gather(*futures)
+
+        return list(
+            asyncio.run_coroutine_threadsafe(gather_groups(), self._loop).result()
+        )
+
+    def close(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join()
+            self._loop.close()
+            self._loop = None
+            self._loop_thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Registry used by :func:`resolve_backend` and the ``NETTRAILS_BACKEND`` hook.
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    AsyncioBackend.name: AsyncioBackend,
+}
+
+BackendSpec = Union[None, str, ExecutionBackend]
+
+
+def default_backend_name() -> str:
+    """The backend name used when none is requested: ``NETTRAILS_BACKEND`` or serial."""
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or SerialBackend.name
+
+
+def resolve_backend(spec: BackendSpec = None, workers: Optional[int] = None) -> ExecutionBackend:
+    """Turn a backend specification into an :class:`ExecutionBackend` instance.
+
+    *spec* may be an instance (returned as-is; *workers* must then be unset),
+    a registered name (``"serial"``, ``"thread"``, ``"asyncio"``), or ``None``
+    — which consults the ``NETTRAILS_BACKEND`` environment variable and falls
+    back to serial.  ``workers`` bounds the worker pool of the concurrent
+    backends (default: ``min(8, cpu_count)``); the serial backend ignores it.
+    """
+    if isinstance(spec, ExecutionBackend):
+        if workers is not None:
+            raise EngineError(
+                "backend_workers cannot be combined with an already-constructed "
+                f"backend instance ({spec!r}); configure the instance instead"
+            )
+        return spec
+    name = spec if spec is not None else default_backend_name()
+    if name not in BACKENDS:
+        raise EngineError(
+            f"unknown execution backend {name!r}; known backends: {sorted(BACKENDS)}"
+        )
+    return BACKENDS[name](workers=workers)

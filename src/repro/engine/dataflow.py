@@ -9,7 +9,7 @@ heads into concrete facts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EngineError
 from repro.ndlog.ast import (

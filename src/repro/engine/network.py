@@ -101,19 +101,46 @@ class Network:
     # -- message delivery ---------------------------------------------------------
 
     def send(self, message: Message) -> None:
-        """Deliver *message* to its receiver after the link (or default) latency."""
+        """Deliver *message* to its receiver after the link (or default) latency.
+
+        When called from an event that a concurrent backend is executing, the
+        dispatch (traffic accounting + delivery scheduling) is routed through
+        the simulator's per-event effect queue and merged after the wave in
+        event-sequence order — the thread-safe network funnel that keeps
+        traffic statistics and delivery order identical to serial execution.
+        """
         if message.receiver not in self._receivers:
             raise UnknownNodeError(f"message addressed to unknown node {message.receiver!r}")
+        buffer = self.simulator.deferred_buffer()
+        if buffer is not None:
+            buffer.append(lambda: self._dispatch(message))
+            return
+        self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
         self.stats.record(message)
         link = self._links.get((message.sender, message.receiver))
         latency = link.latency if link is not None and link.up else self._default_latency
         receiver = self._receivers[message.receiver]
 
         def deliver() -> None:
-            self._delivery_log.append((self.simulator.now, message))
+            entry = (self.simulator.now, message)
+            # The log is shared across receivers, so under a concurrent
+            # backend the append goes through the deferred merge — keeping
+            # delivery-log order identical to serial execution.
+            buffer = self.simulator.deferred_buffer()
+            if buffer is not None:
+                buffer.append(lambda: self._delivery_log.append(entry))
+            else:
+                self._delivery_log.append(entry)
             receiver.receive(message)
 
-        self.simulator.schedule(latency, deliver, label=f"deliver:{message.category}")
+        # Deliveries are serialized per receiving node (the event key): two
+        # messages delivered to one node at the same instant keep their order,
+        # while deliveries to distinct nodes may be absorbed concurrently.
+        self.simulator.schedule(
+            latency, deliver, label=f"deliver:{message.category}", key=message.receiver
+        )
 
     def delivery_log(self) -> List[Tuple[float, Message]]:
         """The (time, message) log of every delivered message, in delivery order."""

@@ -23,8 +23,9 @@ The provenance recorder must provide the following methods (see
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
@@ -87,6 +88,7 @@ class Node:
         batch_deltas: bool = True,
         num_shards: Optional[int] = None,
         shard_workers: int = 0,
+        batch_commit_stall_s: float = 0.0,
     ):
         self.id = node_id
         self.compiled = compiled
@@ -137,6 +139,14 @@ class Node:
         #: restores the historical one-delta-at-a-time path (kept as the
         #: baseline the batching benchmarks compare against).
         self.batch_deltas = batch_deltas
+        #: Emulated per-batch commit latency in *real* seconds (``time.sleep``
+        #: before each batch is absorbed), modelling the blocking I/O a
+        #: durable deployment pays to fsync its store/provenance log.  The
+        #: sleep releases the GIL exactly like real I/O, which is what the
+        #: E13 backend benchmark uses to show concurrent backends overlapping
+        #: independent nodes' commit stalls.  Leave at 0.0 (the default) for
+        #: pure in-memory simulation.
+        self.batch_commit_stall_s = batch_commit_stall_s
         self._queue: Deque[_PendingUpdate] = deque()
         self._processing = False
         self._drain_scheduled = False
@@ -250,7 +260,11 @@ class Node:
             if not self._processing and self._queue:
                 self._drain()
 
-        self.network.simulator.schedule(0.0, fire, label=f"drain:{self.id}")
+        # Drains are serialized per node (the event key): a concurrent
+        # backend may drain distinct nodes of the same wave in parallel, but
+        # this node's store/evaluator/provenance partition stays
+        # single-writer.
+        self.network.simulator.schedule(0.0, fire, label=f"drain:{self.id}", key=self.id)
 
     def _drain(self) -> None:
         self._processing = True
@@ -274,6 +288,8 @@ class Node:
         """
         self.stats.updates_processed += len(updates)
         self.stats.batches_processed += 1
+        if self.batch_commit_stall_s > 0.0:
+            time.sleep(self.batch_commit_stall_s)
         newly_present, disappeared, applied = self.store.apply_delta_batch(
             (update.sign, update.fact, update.derivation_id) for update in updates
         )

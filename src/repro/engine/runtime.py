@@ -11,12 +11,13 @@ for the log store.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import EngineError, UnknownNodeError
+from repro.errors import UnknownNodeError
 from repro.ndlog.ast import Program
 from repro.ndlog.functions import FunctionRegistry
 from repro.ndlog.parser import parse_program
+from repro.engine.backends import BackendSpec, ExecutionBackend, resolve_backend
 from repro.engine.compiler import CompiledProgram, compile_program
 from repro.engine.network import Network, TrafficStats
 from repro.engine.node import Node
@@ -38,6 +39,14 @@ class NetTrailsRuntime:
     through :meth:`state`.  ``num_shards=K`` shards every node's store across
     K hash partitions and ``shard_workers=N`` absorbs sharded delta batches
     on N threads — same results, parallel hot-node batch absorption.
+    ``backend=`` selects the execution backend that drains same-instant
+    simulator events (``"serial"`` — the default reference mode — or the
+    concurrent ``"thread"`` / ``"asyncio"`` backends, which run distinct
+    nodes' drains and deliveries in parallel with bit-identical results; see
+    :mod:`repro.engine.backends`).  The runtime is a context manager —
+    ``with NetTrailsRuntime(...) as runtime:`` releases backend and shard
+    worker threads on exit, which is the leak-proof way to use worker-backed
+    configurations in tests.
 
     >>> from repro.engine import topology
     >>> runtime = NetTrailsRuntime("r1 reach(@D, S) :- edge(@S, D).", topology.line(2))
@@ -59,13 +68,23 @@ class NetTrailsRuntime:
         batch_deltas: bool = True,
         num_shards: Optional[int] = None,
         shard_workers: int = 0,
+        backend: BackendSpec = None,
+        backend_workers: Optional[int] = None,
+        batch_commit_stall_s: float = 0.0,
     ):
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
         self.program = program
         self.compiled: CompiledProgram = compile_program(program, registry)
         self.topology = topology
-        self.simulator = Simulator()
+        #: Execution backend draining same-instant simulator events.  Accepts
+        #: a name (``"serial"`` / ``"thread"`` / ``"asyncio"``), a constructed
+        #: :class:`~repro.engine.backends.ExecutionBackend`, or ``None`` —
+        #: which consults the ``NETTRAILS_BACKEND`` environment variable and
+        #: defaults to the deterministic serial reference mode.
+        #: ``backend_workers`` bounds the concurrent backends' worker pools.
+        self.backend: ExecutionBackend = resolve_backend(backend, backend_workers)
+        self.simulator = Simulator(backend=self.backend)
         self.network = Network(self.simulator, default_latency=default_latency)
         self._link_latency = link_latency
         self._link_relation: Optional[str] = None
@@ -106,6 +125,7 @@ class NetTrailsRuntime:
                 batch_deltas=batch_deltas,
                 num_shards=num_shards,
                 shard_workers=shard_workers,
+                batch_commit_stall_s=batch_commit_stall_s,
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
@@ -299,9 +319,25 @@ class NetTrailsRuntime:
         return self.simulator.now
 
     def close(self) -> None:
-        """Release per-node shard worker threads (no-op without ``shard_workers``)."""
+        """Release backend and per-node shard worker threads; idempotent.
+
+        A no-op for the default serial backend with unsharded stores, but
+        worker-backed configurations (``shard_workers``, ``backend="thread"``
+        / ``"asyncio"``) hold real threads — prefer the context-manager form,
+        which cannot leak them::
+
+            with NetTrailsRuntime(program, net, backend="thread") as runtime:
+                runtime.seed_links(run=True)
+        """
         for node in self.nodes.values():
             node.close()
+        self.backend.close()
+
+    def __enter__(self) -> "NetTrailsRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- state inspection -----------------------------------------------------------------
 

@@ -11,8 +11,8 @@ runtime uses for key-based overwrite semantics on base relations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.errors import SchemaError
 

@@ -18,7 +18,7 @@ knowing anything about provenance.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import LegacyIntegrationError

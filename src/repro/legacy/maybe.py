@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import LegacyIntegrationError
-from repro.ndlog.ast import Assignment, Condition, Literal, Rule
+from repro.ndlog.ast import Assignment, Condition, Rule
 from repro.ndlog.functions import FunctionRegistry
 from repro.engine.dataflow import (
     Bindings,

@@ -17,7 +17,7 @@ from repro.engine.topology import Topology
 from repro.core.query import DistributedQueryEngine
 from repro.core.results import QueryResult
 from repro.legacy import relationships
-from repro.legacy.bgp import BgpNetwork, Route
+from repro.legacy.bgp import BgpNetwork
 from repro.legacy.proxy import LEGACY_PROGRAM_SOURCE, LegacyProxy, ROUTE_ENTRY, as_node_id
 from repro.legacy.relationships import ASTopology
 from repro.legacy.routeviews import TraceEvent, generate_trace

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import LogStoreError
 from repro.core.graph import ProvenanceGraph, RuleExecVertex, TupleVertex

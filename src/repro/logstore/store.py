@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Union
 
 from repro.errors import LogStoreError
 from repro.logstore.snapshot import Snapshot, take_snapshot

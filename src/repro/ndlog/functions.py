@@ -13,7 +13,7 @@ predicates are encoded as ``1`` / ``0`` so that rules can write
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Iterable, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.errors import UnknownFunctionError
 

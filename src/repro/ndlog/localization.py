@@ -23,7 +23,7 @@ otherwise there is no way to know where to ship the intermediate tuples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import NDlogValidationError
 from repro.ndlog.ast import (

@@ -9,7 +9,7 @@ destination, a ``sourceRoute`` reply is derived back at the requester.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.ndlog.ast import Program
 from repro.ndlog.parser import parse_program

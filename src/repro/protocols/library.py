@@ -9,7 +9,7 @@ benchmark (experiment E8 in DESIGN.md) compares against imperative baselines.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import List
 
 from repro.ndlog.ast import Program
 from repro.protocols import distance_vector, dsr, mincost, path_vector

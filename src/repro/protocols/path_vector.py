@@ -9,7 +9,7 @@ case.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.ndlog.ast import Program
 from repro.ndlog.parser import parse_program

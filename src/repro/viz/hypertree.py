@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import cmath
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.errors import VisualizationError
 from repro.core.graph import ProvenanceGraph

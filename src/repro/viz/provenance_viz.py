@@ -11,7 +11,7 @@ import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import VisualizationError
-from repro.core.graph import ProvenanceGraph, TupleVertex
+from repro.core.graph import ProvenanceGraph
 
 
 def _dot_escape(text: str) -> str:

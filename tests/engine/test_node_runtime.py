@@ -122,15 +122,16 @@ class TestShardingConfiguration:
 
     def test_sharded_runtime_converges_like_flat(self):
         flat = NetTrailsRuntime(TWO_NODE_PROGRAM, topology.line(3), provenance=False)
-        sharded = NetTrailsRuntime(
+        # The context-manager form releases the shard worker threads even if
+        # an assertion fails — the leak-proof pattern for worker-backed tests.
+        with NetTrailsRuntime(
             TWO_NODE_PROGRAM, topology.line(3), provenance=False,
             num_shards=2, shard_workers=2,
-        )
-        for runtime in (flat, sharded):
-            runtime.seed_links(run=True)
-        assert sharded.state("reach") == flat.state("reach")
-        assert sharded.num_shards == 2 and sharded.shard_workers == 2
-        sharded.close()
+        ) as sharded:
+            for runtime in (flat, sharded):
+                runtime.seed_links(run=True)
+            assert sharded.state("reach") == flat.state("reach")
+            assert sharded.num_shards == 2 and sharded.shard_workers == 2
 
 
 class TestDynamicTopology:

@@ -1,0 +1,147 @@
+"""Randomized-churn equivalence harness for concurrent execution backends.
+
+The execution backends (:mod:`repro.engine.backends`) promise that the
+thread-pool and asyncio backends are *bit-identical* to the deterministic
+serial reference on everything a run can observe: per-node store snapshots,
+the distributed provenance tables, per-node provenance versions, network
+message counts, simulator event/round counts and distributed query answers.
+
+This harness reuses the sharding suite's seeded churn-script generator
+(:mod:`test_property_sharding`) and replays each script on a serial-backend
+baseline and on every backend × shard-count variant of the acceptance matrix
+— backends {serial, thread, asyncio} × shards {1, 4} — asserting equality
+after *every* churn step.  Like its sibling it honours
+``NETTRAILS_CHURN_SEED`` for reproducible randomized CI runs; additionally,
+the whole property suite runs under each backend in CI via the
+``NETTRAILS_BACKEND`` matrix, which exercises every *other* equivalence
+harness under concurrent execution too.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import pytest
+
+from repro.engine.backends import AsyncioBackend, SerialBackend, ThreadPoolBackend
+from test_property_sharding import (
+    SEEDS,
+    TOPOLOGIES,
+    apply_op,
+    build_runtime,
+    generate_churn_script,
+    lineage_answers,
+)
+from repro.protocols import mincost
+
+#: The acceptance matrix: every backend × shard count compared per-step
+#: against the serial unsharded baseline.  Thread/asyncio variants use two
+#: workers so waves genuinely overlap; the sharded variants stack store
+#: sharding on top of backend concurrency (nested parallelism).
+BACKEND_VARIANTS = [
+    ("serial", 1),
+    ("serial", 4),
+    ("thread", 1),
+    ("thread", 4),
+    ("asyncio", 1),
+    ("asyncio", 4),
+]
+
+BACKEND_TYPES = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "asyncio": AsyncioBackend,
+}
+
+
+def build_variant(net, backend, num_shards):
+    kwargs = {"backend": backend, "backend_workers": None if backend == "serial" else 2}
+    if num_shards > 1:
+        kwargs.update(num_shards=num_shards, shard_workers=2)
+    return build_runtime(mincost.program(), net, **kwargs)
+
+
+def observable_counts(runtime):
+    """The wire/engine counters that must not depend on the backend."""
+    return {
+        "messages": runtime.message_stats().messages,
+        "by_category": runtime.message_stats().by_category,
+        "events": runtime.simulator.processed_events,
+        "rounds": runtime.simulator.rounds,
+    }
+
+
+class TestBackendChurnEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    @pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+    def test_backends_match_serial_reference(
+        self, topology_name, seed, global_state, provenance_fingerprint, store_snapshots
+    ):
+        net = TOPOLOGIES[topology_name]()
+        script = generate_churn_script(seed, net)
+        context = f"topology={topology_name} seed={seed} (NETTRAILS_CHURN_SEED={seed})"
+
+        with ExitStack() as stack:
+            baseline = stack.enter_context(build_runtime(mincost.program(), net, backend="serial"))
+            variants = {
+                (backend, shards): stack.enter_context(build_variant(net, backend, shards))
+                for backend, shards in BACKEND_VARIANTS
+            }
+            for (backend, shards), runtime in variants.items():
+                assert isinstance(runtime.backend, BACKEND_TYPES[backend]), context
+
+            for step, op in enumerate(script):
+                apply_op(baseline, op)
+                expected_snapshots = store_snapshots(baseline)
+                expected_fingerprint = provenance_fingerprint(baseline)
+                expected_versions = baseline.provenance.versions()
+                expected_counts = observable_counts(baseline)
+                for key, runtime in variants.items():
+                    where = f"{context} backend,shards={key} step={step} op={op}"
+                    apply_op(runtime, op)
+                    assert store_snapshots(runtime) == expected_snapshots, where
+                    assert provenance_fingerprint(runtime) == expected_fingerprint, where
+                    assert runtime.provenance.versions() == expected_versions, where
+                    assert observable_counts(runtime) == expected_counts, where
+
+            expected_state = global_state(baseline, ["link", "path", "minCost"])
+            expected_answers = lineage_answers(baseline, "minCost")
+            for key, runtime in variants.items():
+                where = f"{context} backend,shards={key}"
+                assert global_state(runtime, ["link", "path", "minCost"]) == expected_state, where
+                assert lineage_answers(runtime, "minCost") == expected_answers, where
+
+    @pytest.mark.parametrize("seed", SEEDS[:1], ids=lambda s: f"seed{s}")
+    def test_query_traffic_identical_across_backends(self, seed):
+        """Provenance-query traversal costs (messages, rounds, nodes visited)
+        are part of the paper's claims, so they must be backend-invariant
+        too, not just the answers."""
+        net = TOPOLOGIES["as-level"]()
+
+        def query_stats(runtime):
+            from repro.core.query import DistributedQueryEngine
+
+            engine = DistributedQueryEngine(runtime)
+            rows = sorted(runtime.state("minCost"), key=repr)[:3]
+            stats = []
+            for values in rows:
+                result = engine.lineage("minCost", list(values))
+                stats.append(
+                    (
+                        values,
+                        sorted(str(ref) for ref in result.value),
+                        result.stats.messages,
+                        result.stats.rounds,
+                        result.stats.nodes_visited,
+                    )
+                )
+            return stats
+
+        with ExitStack() as stack:
+            serial = stack.enter_context(build_runtime(mincost.program(), net, backend="serial"))
+            expected = query_stats(serial)
+            for backend in ("thread", "asyncio"):
+                runtime = stack.enter_context(
+                    build_runtime(mincost.program(), net, backend=backend, backend_workers=4)
+                )
+                assert query_stats(runtime) == expected, f"backend={backend} seed={seed}"

@@ -32,6 +32,7 @@ from __future__ import annotations
 import copy
 import os
 import random
+from contextlib import ExitStack
 
 import pytest
 
@@ -143,19 +144,21 @@ class TestShardedChurnEquivalence:
         script = generate_churn_script(seed, net)
         context = f"topology={topology_name} seed={seed} (NETTRAILS_CHURN_SEED={seed})"
 
-        baseline = build_runtime(mincost.program(), net)
-        variants = {
-            (num_shards, workers): build_runtime(
-                mincost.program(), net, num_shards=num_shards, shard_workers=workers
-            )
-            for num_shards, workers in SHARD_VARIANTS
-        }
-        for (num_shards, workers), runtime in variants.items():
-            for node in runtime.nodes.values():
-                assert isinstance(node.store, ShardedTupleStore), context
-                assert node.store.num_shards == num_shards, context
+        with ExitStack() as stack:
+            baseline = build_runtime(mincost.program(), net)
+            variants = {
+                (num_shards, workers): stack.enter_context(
+                    build_runtime(
+                        mincost.program(), net, num_shards=num_shards, shard_workers=workers
+                    )
+                )
+                for num_shards, workers in SHARD_VARIANTS
+            }
+            for (num_shards, workers), runtime in variants.items():
+                for node in runtime.nodes.values():
+                    assert isinstance(node.store, ShardedTupleStore), context
+                    assert node.store.num_shards == num_shards, context
 
-        try:
             for step, op in enumerate(script):
                 apply_op(baseline, op)
                 expected_snapshots = store_snapshots(baseline)
@@ -174,9 +177,6 @@ class TestShardedChurnEquivalence:
                 where = f"{context} K,workers={key}"
                 assert global_state(runtime, ["link", "path", "minCost"]) == expected_state, where
                 assert lineage_answers(runtime, "minCost") == expected_answers, where
-        finally:
-            for runtime in variants.values():
-                runtime.close()
 
     @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
     def test_negation_sharded_matches_baseline(
@@ -197,10 +197,9 @@ class TestShardedChurnEquivalence:
         context = f"negation seed={seed} (NETTRAILS_CHURN_SEED={seed})"
 
         baseline = NetTrailsRuntime(program, copy.deepcopy(net))
-        sharded = NetTrailsRuntime(
+        with NetTrailsRuntime(
             program, copy.deepcopy(net), num_shards=4, shard_workers=2
-        )
-        try:
+        ) as sharded:
             for step in range(6):
                 rows = [
                     [a, b]
@@ -220,8 +219,6 @@ class TestShardedChurnEquivalence:
                 assert provenance_fingerprint(sharded) == provenance_fingerprint(baseline), where
             relations = ["offer", "blocked", "candidate", "mirror"]
             assert global_state(sharded, relations) == global_state(baseline, relations), context
-        finally:
-            sharded.close()
 
     @pytest.mark.parametrize("seed", SEEDS[:1], ids=lambda s: f"seed{s}")
     def test_path_vector_sharded_matches_baseline(
@@ -233,8 +230,7 @@ class TestShardedChurnEquivalence:
         context = f"path_vector seed={seed} (NETTRAILS_CHURN_SEED={seed})"
 
         baseline = build_runtime(path_vector.program(), net)
-        sharded = build_runtime(path_vector.program(), net, num_shards=4, shard_workers=2)
-        try:
+        with build_runtime(path_vector.program(), net, num_shards=4, shard_workers=2) as sharded:
             for step, op in enumerate(script):
                 apply_op(baseline, op)
                 apply_op(sharded, op)
@@ -246,5 +242,3 @@ class TestShardedChurnEquivalence:
             assert lineage_answers(sharded, "bestPath") == lineage_answers(
                 baseline, "bestPath"
             ), context
-        finally:
-            sharded.close()
