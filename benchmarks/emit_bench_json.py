@@ -5,7 +5,9 @@ Runs compact, deterministic versions of the headline experiments —
 * **E11** batch-first delta evaluation (batched vs per-fact churn),
 * **E12** sharded hub absorption (4 shards vs flat on a star hub),
 * **E13** concurrent node-drain backends (thread/asyncio vs serial on a
-  multi-hub AS hierarchy) —
+  multi-hub AS hierarchy),
+* **E14** per-VID query-cache invalidation (cache hit/miss/eviction counters
+  under unrelated churn, vs the global-version ablation) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -42,14 +44,21 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from test_e11_batching import run_churn  # noqa: E402
 from test_e12_sharding import HUB, run_hub_churn  # noqa: E402
 from test_e13_backends import run_multi_hub_churn  # noqa: E402
+from test_e14_cache import run_cache_workload, run_capped_workload  # noqa: E402
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
 UNGATED_SUFFIXES = (".seconds",)
 
 
-def _metric(value, gate=True):
-    return {"value": value, "gate": gate}
+def _metric(value, gate=True, higher_is_better=False):
+    """One named metric.  ``gate=True`` enforces the regression check;
+    ``higher_is_better=True`` flips its direction (e.g. cache hits, where a
+    *drop* is the regression and an increase is the improvement)."""
+    entry = {"value": value, "gate": gate}
+    if higher_is_better:
+        entry["higher_is_better"] = True
+    return entry
 
 
 def collect_metrics() -> dict:
@@ -100,6 +109,34 @@ def collect_metrics() -> dict:
             f"differ from serial ({threaded['messages']}/{threaded['events']} "
             f"vs {serial['messages']}/{serial['events']})"
         )
+
+    # E14 — per-VID cache invalidation under unrelated churn, vs the
+    # global-version ablation.  Counters are deterministic and gated; the
+    # hit rate is derived (recorded for the artifact trail only).
+    start = time.perf_counter()
+    per_vid = run_cache_workload()
+    per_vid_seconds = time.perf_counter() - start
+    coarse = run_cache_workload(cache_validation="global")
+    capped = run_capped_workload().cache_totals()
+    metrics["e14.pervid.hits"] = _metric(per_vid["totals"]["hits"], higher_is_better=True)
+    metrics["e14.pervid.misses"] = _metric(per_vid["totals"]["misses"])
+    metrics["e14.pervid.churn_step_hits"] = _metric(
+        sum(per_vid["per_step_hits"]), higher_is_better=True
+    )
+    metrics["e14.pervid.churn_step_messages"] = _metric(sum(per_vid["per_step_messages"]))
+    metrics["e14.pervid.hit_rate"] = _metric(per_vid["hit_rate"], gate=False)
+    metrics["e14.pervid.seconds"] = _metric(round(per_vid_seconds, 3), gate=False)
+    metrics["e14.global.churn_step_hits"] = _metric(
+        sum(coarse["per_step_hits"]), gate=False
+    )
+    metrics["e14.capped.evictions"] = _metric(capped["evictions"])
+    metrics["e14.capped.entries"] = _metric(capped["entries"])
+    if sum(per_vid["per_step_hits"]) <= sum(coarse["per_step_hits"]):
+        raise SystemExit(
+            "E14 invariant violated: per-VID validation no longer beats the "
+            f"global ablation ({sum(per_vid['per_step_hits'])} hits vs "
+            f"{sum(coarse['per_step_hits'])})"
+        )
     return metrics
 
 
@@ -115,11 +152,23 @@ def check_against_baseline(metrics: dict, baseline_path: str, tolerance: float) 
             continue
         old = entry["value"]
         new = metrics[name]["value"]
-        if old and new > old * (1.0 + tolerance):
+        if entry.get("higher_is_better"):
+            # Counters where bigger means healthier (cache hits): regression
+            # is a drop below tolerance, improvement is a rise above it.
+            regressed = new < old * (1.0 - tolerance)
+            improved = new > old * (1.0 + tolerance)
+        else:
+            # A zero baseline means "this cost was eliminated": ANY non-zero
+            # value is a regression (0 * (1 + tol) is still 0, so the plain
+            # comparison covers it — no truthiness guard, or the metric
+            # would silently stop being checked).
+            regressed = new > old * (1.0 + tolerance)
+            improved = old > 0 and new < old * (1.0 - tolerance)
+        if regressed:
             failures.append(
                 f"{name}: {new} regressed >{tolerance:.0%} vs baseline {old}"
             )
-        elif old and new < old * (1.0 - tolerance):
+        elif improved:
             print(
                 f"note: {name} improved to {new} (baseline {old}); "
                 "consider refreshing benchmarks/bench_baseline.json"

@@ -29,8 +29,12 @@ from repro.core.queries import (
     QUERY_PARTICIPANTS,
     QUERY_SUBGRAPH,
 )
-from repro.core.optimizations import QueryOptions
-from repro.core.query import DistributedQueryEngine
+from repro.core.optimizations import DEFAULT_CACHE_CAPACITY, NodeQueryCache, QueryOptions
+from repro.core.query import (
+    CACHE_VALIDATION_GLOBAL,
+    CACHE_VALIDATION_VID,
+    DistributedQueryEngine,
+)
 from repro.core.results import QueryResult
 from repro.core.language import ParsedQuery, QueryLanguage, parse_query
 from repro.core.security import NodeAttestation, ProvenanceAuthenticator, TamperReport
@@ -51,6 +55,10 @@ __all__ = [
     "QUERY_PARTICIPANTS",
     "QUERY_SUBGRAPH",
     "QueryOptions",
+    "NodeQueryCache",
+    "DEFAULT_CACHE_CAPACITY",
+    "CACHE_VALIDATION_VID",
+    "CACHE_VALIDATION_GLOBAL",
     "DistributedQueryEngine",
     "QueryResult",
     "ParsedQuery",

@@ -317,6 +317,17 @@ class ProvenanceGraph:
         visit(vid)
         return sorted(result, key=lambda vertex: vertex.vid)
 
+    def affected_vids(self, vid: str) -> Set[str]:
+        """Vids of the forward closure of *vid* (see :meth:`affected_tuples`).
+
+        This is exactly the set of vertices whose downstream provenance
+        subgraph contains *vid* — i.e. the vertices whose per-VID
+        reachability version (:meth:`repro.core.maintenance.ProvenanceEngine.vid_version`)
+        must advance when *vid*'s derivations change; tests use it as the
+        oracle for the engine's incremental upward propagation.
+        """
+        return {vertex.vid for vertex in self.affected_tuples(vid)}
+
     # -- merging ---------------------------------------------------------------------------
 
     def merge(self, other: "ProvenanceGraph") -> None:

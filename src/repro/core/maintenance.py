@@ -22,6 +22,17 @@ The :class:`ProvenanceEngine` object is shared by all nodes of a runtime, but
 its data is strictly partitioned into per-node :class:`NodeProvenanceStore`
 instances; the distributed query engine only ever reads the partition of the
 node a query step executes on, preserving the distribution semantics.
+
+Beyond the per-partition version counters, the engine maintains **per-VID
+reachability versions** for incremental query-cache invalidation:
+:meth:`ProvenanceEngine.vid_version` reports a counter that advances exactly
+when the tuple's *downstream provenance subgraph* — its ``prov`` /
+``ruleExec`` descendants, the set a lineage or derivation traversal visits —
+changes.  Every mutation marks the directly-affected vertex dirty, and the
+dirty set is propagated *upward* along the support index (``child vid ->
+consuming rule execs -> head vids``, hopping partitions through each rule
+execution's recorded head location), so an unrelated delta leaves unrelated
+vertices' versions — and therefore their cached query results — untouched.
 """
 
 from __future__ import annotations
@@ -69,10 +80,18 @@ class RuleExecEntry:
 
 
 class NodeProvenanceStore:
-    """The partition of the provenance tables stored at one node."""
+    """The partition of the provenance tables stored at one node.
 
-    def __init__(self, node_id: object):
+    When the store belongs to a :class:`ProvenanceEngine` (*engine* is set),
+    every mutation additionally reports the directly-affected vertex — the
+    tuple whose derivations changed, or the head tuple of an added/removed
+    rule execution — so the engine can propagate per-VID reachability
+    versions upward; standalone stores skip that bookkeeping entirely.
+    """
+
+    def __init__(self, node_id: object, engine: Optional["ProvenanceEngine"] = None):
         self.node_id = node_id
+        self._engine = engine
         #: vid -> set of ProvEntry (derivations of the tuple stored here)
         self._prov: Dict[str, Set[ProvEntry]] = {}
         #: rid -> RuleExecEntry for rules that fired here
@@ -85,6 +104,12 @@ class NodeProvenanceStore:
         self.version = 0
         self._bumps_suspended = 0
         self._pending_bump = False
+        #: (home location, vid) pairs whose downstream subgraph changed since
+        #: the last flush; insertion-ordered so propagation is deterministic.
+        self._dirty: Dict[Tuple[object, str], None] = {}
+        # Guards _rule_execs/_uses against the engine's cross-partition
+        # reachability walk; standalone stores get a private lock.
+        self._exec_lock = engine._graph_lock if engine is not None else threading.Lock()
 
     # -- mutation -----------------------------------------------------------------
 
@@ -93,6 +118,32 @@ class NodeProvenanceStore:
             self._pending_bump = True
             return
         self.version += 1
+        if self._engine is not None:
+            self._engine._note_store_bump()
+
+    def _mark_dirty(self, home: object, vid: str) -> None:
+        """Note that *vid*'s provenance subgraph changed; flush when unbatched.
+
+        Callers mark dirty (flushing the per-VID bumps) *before* advancing
+        the store version: the cache's clock-guarded sweep treats the global
+        clock as "vid versions can only have changed if this moved", so the
+        vid bumps must never trail the clock bump — a concurrently-running
+        sweep that caught the new clock with old vid versions would record
+        itself as up to date and strand that flush's dead entries forever.
+        The reverse race (new vid versions, old clock) merely causes one
+        extra sweep later.
+        """
+        self._dirty[(home, vid)] = None
+        if not self._bumps_suspended:
+            self._flush_dirty()
+
+    def _flush_dirty(self) -> None:
+        if not self._dirty:
+            return
+        dirty = list(self._dirty)
+        self._dirty.clear()
+        if self._engine is not None:
+            self._engine._bump_reachability(dirty)
 
     @contextmanager
     def batched(self) -> Iterator["NodeProvenanceStore"]:
@@ -101,16 +152,25 @@ class NodeProvenanceStore:
         Batch-first execution applies a whole delta batch under this context
         manager, so the provenance store advances its version once per batch
         instead of once per row — the query cache then sees one invalidation
-        per batch, and version arithmetic stays O(1) per batch.
+        per batch, and version arithmetic stays O(1) per batch.  Per-VID
+        reachability versions coalesce the same way: the dirty vertices of
+        the whole batch propagate in one upward walk, bumping each affected
+        vertex at most once per batch regardless of row count or shard
+        layout.
         """
         self._bumps_suspended += 1
         try:
             yield self
         finally:
             self._bumps_suspended -= 1
-            if self._bumps_suspended == 0 and self._pending_bump:
-                self._pending_bump = False
-                self.version += 1
+            if self._bumps_suspended == 0:
+                # Dirty flush strictly before the clock bump — see _mark_dirty.
+                self._flush_dirty()
+                if self._pending_bump:
+                    self._pending_bump = False
+                    self.version += 1
+                    if self._engine is not None:
+                        self._engine._note_store_bump()
 
     def record_tuple(self, fact: Fact) -> str:
         vid = vid_for(fact)
@@ -120,6 +180,7 @@ class NodeProvenanceStore:
     def add_prov(self, vid: str, rid: str, rloc: object) -> ProvEntry:
         entry = ProvEntry(vid=vid, rid=rid, rloc=rloc)
         self._prov.setdefault(vid, set()).add(entry)
+        self._mark_dirty(self.node_id, vid)
         self._bump()
         return entry
 
@@ -130,24 +191,29 @@ class NodeProvenanceStore:
         entries.discard(entry)
         if not entries:
             del self._prov[entry.vid]
+        self._mark_dirty(self.node_id, entry.vid)
         self._bump()
 
     def add_rule_exec(self, entry: RuleExecEntry) -> None:
-        self._rule_execs[entry.rid] = entry
-        for child in entry.child_vids:
-            self._uses.setdefault(child, set()).add(entry.rid)
+        with self._exec_lock:
+            self._rule_execs[entry.rid] = entry
+            for child in entry.child_vids:
+                self._uses.setdefault(child, set()).add(entry.rid)
+        self._mark_dirty(entry.head_location, entry.head_vid)
         self._bump()
 
     def remove_rule_exec(self, rid: str) -> None:
-        entry = self._rule_execs.pop(rid, None)
-        if entry is None:
-            return
-        for child in entry.child_vids:
-            uses = self._uses.get(child)
-            if uses is not None:
-                uses.discard(rid)
-                if not uses:
-                    del self._uses[child]
+        with self._exec_lock:
+            entry = self._rule_execs.pop(rid, None)
+            if entry is None:
+                return
+            for child in entry.child_vids:
+                uses = self._uses.get(child)
+                if uses is not None:
+                    uses.discard(rid)
+                    if not uses:
+                        del self._uses[child]
+        self._mark_dirty(entry.head_location, entry.head_vid)
         self._bump()
 
     # -- queries ------------------------------------------------------------------
@@ -226,6 +292,26 @@ class ProvenanceEngine:
         # need no locking because each is only ever written by its node's
         # (serialized) events.
         self._registry_lock = threading.Lock()
+        # Guards the cross-partition reachability metadata: the per-VID
+        # version map, the memoized global version counter, and the
+        # _rule_execs/_uses maps while the upward propagation walk reads
+        # them.  Per-node event serialization does not cover this state —
+        # one node's batch bumps *other* nodes' head vertices when it fires
+        # or retracts rules whose heads live elsewhere.
+        self._graph_lock = threading.Lock()
+        #: vid -> reachability version; bumped (under _graph_lock) whenever
+        #: the vertex's downstream provenance subgraph changes.  Missing
+        #: entries read as 0.  Entries are never removed — like the
+        #: per-store ``_tuple_info`` descriptors, the map grows with the
+        #: historical tuple universe: a retracted vid's counter must survive
+        #: so that a re-derivation can never climb back to a version some
+        #: remote cache still holds an entry for.  (Sound pruning needs
+        #: rebirth-epoch stamping — see the ROADMAP follow-up.)
+        self._vid_versions: Dict[str, int] = {}
+        #: Memoized sum of all per-partition versions, so query-cache hot
+        #: paths that still consult the global fallback stay O(1) instead of
+        #: re-scanning every node's partition.
+        self._global_version = 0
 
     def _count_event(self) -> None:
         with self._registry_lock:
@@ -239,7 +325,7 @@ class ProvenanceEngine:
             with self._registry_lock:
                 store = self._stores.get(node_id)
                 if store is None:
-                    store = NodeProvenanceStore(node_id)
+                    store = NodeProvenanceStore(node_id, engine=self)
                     self._stores[node_id] = store
                     self._support_index[node_id] = {}
         return store
@@ -360,6 +446,66 @@ class ProvenanceEngine:
                     self.remove_rule_exec(exec_node, effect)
                     tags.append(None)
         return tags
+
+    # -- per-VID reachability versions ----------------------------------------------------
+
+    def _note_store_bump(self) -> None:
+        """Advance the memoized global version; one call per partition bump."""
+        with self._graph_lock:
+            self._global_version += 1
+
+    def _bump_reachability(self, dirty: Sequence[Tuple[object, str]]) -> None:
+        """Bump the reachability version of every ancestor of the dirty set.
+
+        *dirty* holds ``(home location, vid)`` pairs of vertices whose own
+        derivations (or deriving rule executions) just changed.  A change to
+        a vertex's subgraph is a change to every ancestor's subgraph too, so
+        the walk follows the support index upward — local consuming rule
+        executions, then their head tuples at the heads' recorded home
+        partitions — bumping each visited vertex exactly once per flush.
+        Cyclic support (possible while a retraction wave is mid-flight) is
+        handled by the visited set.
+        """
+        with self._graph_lock:
+            seen: Set[str] = set()
+            stack = list(dirty)
+            while stack:
+                home, vid = stack.pop()
+                if vid in seen:
+                    continue
+                seen.add(vid)
+                self._vid_versions[vid] = self._vid_versions.get(vid, 0) + 1
+                store = self._stores.get(home)
+                if store is None:
+                    continue
+                for rid in sorted(store._uses.get(vid, ())):
+                    entry = store._rule_execs.get(rid)
+                    if entry is not None:
+                        stack.append((entry.head_location, entry.head_vid))
+
+    def vid_version(self, vid: str) -> int:
+        """The reachability version of one tuple vertex (0 if never touched).
+
+        The counter advances exactly when the vertex's downstream provenance
+        subgraph — what a lineage/derivation traversal from it would visit —
+        changes; deltas elsewhere leave it alone.  The query cache validates
+        entries against this, so unrelated churn no longer flushes them.
+        """
+        return self._vid_versions.get(vid, 0)
+
+    def vid_versions(self) -> Dict[str, int]:
+        """A snapshot of every non-zero per-VID reachability version."""
+        with self._graph_lock:
+            return dict(self._vid_versions)
+
+    def global_version(self) -> int:
+        """The sum of all per-partition versions, memoized to O(1).
+
+        Kept as the coarse fallback for cache validation against recorders
+        that predate per-VID versions; equal, by construction, to
+        ``sum(self.versions().values())``.
+        """
+        return self._global_version
 
     # -- statistics ----------------------------------------------------------------------
 

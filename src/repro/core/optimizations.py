@@ -7,8 +7,13 @@ pruning."*
 
 * **Caching** — every node keeps a cache of completed (sub-)query results
   keyed by (vid, query mode, pruning parameters).  Cached entries are tagged
-  with the global provenance version and are discarded when any provenance
-  table changes, which keeps the cache trivially consistent.
+  with the queried vertex's *per-VID reachability version* (see
+  :meth:`repro.core.maintenance.ProvenanceEngine.vid_version`), which bumps
+  only when that vertex's downstream provenance subgraph changes — so
+  unrelated deltas keep entries alive, while any change a traversal could
+  observe invalidates exactly the affected entries.  The cache is an LRU
+  with a configurable capacity; stale entries are swept before capacity
+  evictions so memory tracks live entries.
 * **Traversal orders** — a query can expand the alternative derivations of a
   tuple either in parallel or sequentially.  Parallel traversal issues every
   child sub-query of a step in a single fan-out round, with the requests to
@@ -26,11 +31,17 @@ pruning."*
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 TRAVERSAL_PARALLEL = "parallel"
 TRAVERSAL_SEQUENTIAL = "sequential"
+
+#: Default per-node query-cache capacity (entries); override through
+#: ``NetTrailsRuntime(query_cache_capacity=N)`` (``0`` there disables the
+#: cap, which reaches :class:`NodeQueryCache` as ``capacity=None``).
+DEFAULT_CACHE_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -102,20 +113,50 @@ class _CacheEntry:
     version: int
 
 
-class NodeQueryCache:
-    """Per-node cache of completed sub-query results.
+_CacheKey = Tuple[str, str, Tuple[object, ...]]
 
-    Entries are validated against a *global* provenance version number: if any
-    provenance table anywhere changed since the entry was stored, the entry is
-    considered stale.  This is deliberately coarse — it can only produce false
-    invalidations, never stale answers.
+
+class NodeQueryCache:
+    """Per-node LRU cache of completed sub-query results.
+
+    Entries are tagged with the version their result was computed at — the
+    queried vertex's per-VID reachability version, or the global provenance
+    version when the recorder offers nothing finer — and are valid only
+    while the current version still equals the tag.  Validation can only
+    produce false invalidations, never stale answers: any change a traversal
+    from the vertex could observe bumps its version before the entry can be
+    looked up again.
+
+    ``capacity`` bounds the entry count (``None`` = unbounded): before a
+    capacity eviction, :meth:`sweep` drops entries whose version is already
+    dead, so live entries are only LRU-evicted once the cache is genuinely
+    full of valid results.  ``version_fn`` maps a vid to its *current*
+    version and is what lookup callers pass explicitly; the cache uses it
+    only to sweep entries under keys that are never re-looked-up.
+    ``clock_fn`` is a cheap monotone change counter (the provenance engine's
+    memoized global version): no entry can have died while it is unchanged,
+    so a saturated cache skips the O(capacity) sweep on the store hot path
+    until a mutation actually happens.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str, Tuple[object, ...]], _CacheEntry] = {}
+    def __init__(
+        self,
+        capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+        version_fn: Optional[Callable[[str], int]] = None,
+        clock_fn: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"cache capacity must be positive or None, got {capacity}")
+        self._entries: "OrderedDict[_CacheKey, _CacheEntry]" = OrderedDict()
+        self.capacity = capacity
+        self._version_fn = version_fn
+        self._clock_fn = clock_fn
+        self._swept_at: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.stale_dropped = 0
 
     def lookup(self, vid: str, mode: str, options: QueryOptions, version: int) -> Optional[object]:
         key = (vid, mode, options.cache_key_part())
@@ -123,15 +164,73 @@ class NodeQueryCache:
         if entry is None or entry.version != version:
             if entry is not None:
                 del self._entries[key]
+                self.stale_dropped += 1
             self.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return entry.value
 
     def store(self, vid: str, mode: str, options: QueryOptions, version: int, value: object) -> None:
+        if self._version_fn is not None and self._version_fn(vid) != version:
+            # Stillborn entry: churn already superseded the tag (a traversal
+            # raced a delta, or an in-flight reply was computed before one).
+            # It could never be served, so don't let it occupy a slot.
+            self.stale_dropped += 1
+            return
         key = (vid, mode, options.cache_key_part())
         self._entries[key] = _CacheEntry(value=value, version=version)
+        self._entries.move_to_end(key)
         self.stores += 1
+        if self._clock_fn is not None:
+            # Clock-guarded: a full sweep at most once per provenance change,
+            # so dead entries are reclaimed even in uncapped or half-full
+            # caches and memory tracks live entries, at O(1) amortized cost.
+            self.sweep()
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self.sweep()
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def sweep(self) -> int:
+        """Drop every entry whose tagged version is no longer current.
+
+        Stale entries are otherwise only reclaimed when their exact key is
+        looked up again; the sweep (run automatically before a capacity
+        eviction) keeps memory proportional to *live* entries.  Returns the
+        number of entries dropped; a no-op without a ``version_fn``, and
+        skipped entirely while the ``clock_fn`` counter is unchanged since
+        the previous sweep (no mutation happened, so nothing can have died
+        — entries stored meanwhile were tagged with live versions).
+        """
+        if self._version_fn is None:
+            return 0
+        if self._clock_fn is not None:
+            now = self._clock_fn()
+            if now == self._swept_at:
+                return 0
+            self._swept_at = now
+        dead = [
+            key
+            for key, entry in self._entries.items()
+            if self._version_fn(key[0]) != entry.version
+        ]
+        for key in dead:
+            del self._entries[key]
+        self.stale_dropped += len(dead)
+        return len(dead)
+
+    def counters(self) -> "OrderedDict[str, int]":
+        """All bookkeeping counters plus the live entry count, for reporting."""
+        return OrderedDict(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            evictions=self.evictions,
+            stale_dropped=self.stale_dropped,
+            entries=len(self._entries),
+        )
 
     def clear(self) -> None:
         self._entries.clear()

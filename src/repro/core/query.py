@@ -12,7 +12,10 @@ Every hop is a real message through the simulated network, so the traffic
 statistics reported by :class:`DistributedQueryEngine.query` measure exactly
 the "network traffic" the paper's optimisation discussion refers to, and the
 optimisations of :mod:`repro.core.optimizations` (caching, traversal order,
-threshold pruning) visibly reduce it.
+threshold pruning) visibly reduce it.  Cache entries are validated against
+per-VID reachability versions maintained incrementally by the provenance
+engine, so deltas that cannot affect a queried subtree leave its cached
+sub-results usable — the point of the incremental-invalidation design.
 
 Parallel traversal (the default) is a true single-round fan-out: all child
 requests of a step are issued at once, requests to the same remote node
@@ -48,6 +51,7 @@ from repro.engine.tuples import Fact
 from repro.core.keys import BASE_RID, vid_for
 from repro.core.maintenance import NodeProvenanceStore, ProvenanceEngine
 from repro.core.optimizations import (
+    DEFAULT_CACHE_CAPACITY,
     NodeQueryCache,
     QueryOptions,
     TRAVERSAL_SEQUENTIAL,
@@ -67,6 +71,12 @@ _REQUEST_KIND_TUPLE = "tuple"
 _REQUEST_KIND_EXEC = "exec"
 
 _ROOT_MARKER = "__root__"
+
+#: Cache-validation modes: per-VID reachability versions (default) keep
+#: entries alive through unrelated churn; the global mode re-creates the
+#: original flush-on-any-delta behaviour for ablation benchmarks.
+CACHE_VALIDATION_VID = "vid"
+CACHE_VALIDATION_GLOBAL = "global"
 
 
 @dataclass(frozen=True)
@@ -102,7 +112,15 @@ class QueryRequestBatch:
 
 @dataclass(frozen=True)
 class QueryReply:
-    """The combined sub-result for one traversal step."""
+    """The combined sub-result for one traversal step.
+
+    ``version`` is the queried vertex's reachability version *captured when
+    the responding node started computing* (``None`` for rule-execution
+    sub-results).  Carrying it in the reply lets the requesting node cache
+    the result soundly: if the subtree changed while the reply was in
+    flight, the current version has already moved past the carried one and
+    the entry can never be served.
+    """
 
     query_id: str
     request_id: str
@@ -110,6 +128,7 @@ class QueryReply:
     truncated: bool
     visited: FrozenSet[object]
     cache_hits: int
+    version: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +162,9 @@ class _Bundle:
     truncated: bool = False
     visited: FrozenSet[object] = frozenset()
     cache_hits: int = 0
+    #: Reachability version of the sub-result's root vertex at computation
+    #: start (tuple sub-results only); what remote caches tag entries with.
+    version: Optional[int] = None
 
 
 @dataclass
@@ -169,6 +191,12 @@ class _Frame:
     outstanding: int = 0
     truncated: bool = False
     cached_bundle: Optional[_Bundle] = None
+    #: The target vid's reachability version captured at frame creation,
+    #: *before* any provenance rows are read.  Completed results are stored
+    #: under this version: if churn raced the traversal, the current version
+    #: has already advanced and the entry is stillborn — conservative, never
+    #: stale.  ``None`` for exec frames (only tuple results are cached).
+    version_at_start: Optional[int] = None
     parent: Optional[Tuple[str, int]] = None  # (parent frame id, slot index)
     remote_reply: Optional[Tuple[object, str, str]] = None  # (reply_to, query_id, request_id)
     reply_batch: Optional[Tuple["_ReplyCollector", str, str]] = None  # (collector, query_id, request_id)
@@ -187,11 +215,20 @@ class QueryAgent:
     def __init__(self, node: Node, engine: "DistributedQueryEngine"):
         self.node = node
         self.engine = engine
-        self.cache = NodeQueryCache()
+        self.cache = NodeQueryCache(
+            capacity=engine.cache_capacity,
+            version_fn=engine.entry_version,
+            clock_fn=engine.global_version,
+        )
         self._frames: Dict[str, _Frame] = {}
         self._frame_seq = itertools.count(1)
         self._request_seq = itertools.count(1)
         self._pending_remote: Dict[str, Tuple[str, int]] = {}
+        self._root_keys: Dict[str, str] = {}
+        #: request id -> (vid, mode, options) of an issued remote root, kept
+        #: so the reply — which carries the version it was computed at — can
+        #: be cached here at the issuing node.
+        self._root_meta: Dict[str, Tuple[str, str, QueryOptions]] = {}
         node.register_handler(CATEGORY_PROVENANCE_QUERY, self._on_query)
         node.register_handler(CATEGORY_PROVENANCE_REPLY, self._on_reply)
 
@@ -235,11 +272,28 @@ class QueryAgent:
         options: QueryOptions,
         root_key: str,
     ) -> None:
-        """Issue a query from this node for a tuple stored at *home_node*."""
+        """Issue a query from this node for a tuple stored at *home_node*.
+
+        Replies to earlier issuances are cached locally (tagged with the
+        version they were computed at, carried in the reply), so a repeat
+        query for an unchanged subtree is answered without any network hop.
+        """
+        if options.use_cache:
+            cached = self.cache.lookup(vid, mode, options, self.engine.entry_version(vid))
+            if cached is not None:
+                self.engine._finish_root(
+                    root_key,
+                    _Bundle(
+                        value=cached,
+                        visited=frozenset({self.node.id}),
+                        cache_hits=1,
+                    ),
+                )
+                return
         request_id = self._new_request_id()
         self._pending_remote[request_id] = (_ROOT_MARKER, 0)
-        self._root_keys = getattr(self, "_root_keys", {})
         self._root_keys[request_id] = root_key
+        self._root_meta[request_id] = (vid, mode, options)
         self.node.send(
             home_node,
             CATEGORY_PROVENANCE_QUERY,
@@ -298,10 +352,20 @@ class QueryAgent:
             truncated=reply.truncated,
             visited=reply.visited,
             cache_hits=reply.cache_hits,
+            version=reply.version,
         )
         frame_id, slot = pending
         if frame_id == _ROOT_MARKER:
             root_key = self._root_keys.pop(reply.request_id)
+            meta = self._root_meta.pop(reply.request_id, None)
+            if (
+                meta is not None
+                and meta[2].use_cache
+                and not reply.truncated
+                and reply.version is not None
+            ):
+                vid, mode, options = meta
+                self.cache.store(vid, mode, options, reply.version, reply.value)
             bundle.visited = bundle.visited | frozenset({self.node.id})
             self.engine._finish_root(root_key, bundle)
             return
@@ -328,14 +392,19 @@ class QueryAgent:
         self._frames[frame.frame_id] = frame
         reducer = self._reducer(mode)
 
+        # Captured before any provenance rows are read: the completed result
+        # is stored under this version, so a concurrent subtree change (which
+        # bumps the current version past it) can never be masked.
+        frame.version_at_start = self.engine.entry_version(vid)
         if options.use_cache:
-            cached = self.cache.lookup(vid, mode, options, self.engine.global_version())
+            cached = self.cache.lookup(vid, mode, options, frame.version_at_start)
             if cached is not None:
                 frame.cached_bundle = _Bundle(
                     value=cached,
                     truncated=False,
                     visited=frozenset({self.node.id}),
                     cache_hits=1,
+                    version=frame.version_at_start,
                 )
                 return frame
 
@@ -509,7 +578,13 @@ class QueryAgent:
             value = reducer.tuple_value(frame.tuple_ref, values)
         else:
             value = reducer.exec_value(frame.exec_ref, values)
-        return _Bundle(value=value, truncated=truncated, visited=visited, cache_hits=cache_hits)
+        return _Bundle(
+            value=value,
+            truncated=truncated,
+            visited=visited,
+            cache_hits=cache_hits,
+            version=frame.version_at_start,
+        )
 
     def _complete(self, frame: _Frame, bundle: _Bundle) -> None:
         self._frames.pop(frame.frame_id, None)
@@ -518,12 +593,13 @@ class QueryAgent:
             and frame.options.use_cache
             and not bundle.truncated
             and frame.cached_bundle is None
+            and frame.version_at_start is not None
         ):
             self.cache.store(
                 frame.target,
                 frame.mode,
                 frame.options,
-                self.engine.global_version(),
+                frame.version_at_start,
                 bundle.value,
             )
         if frame.parent is not None:
@@ -542,6 +618,7 @@ class QueryAgent:
                     truncated=bundle.truncated,
                     visited=bundle.visited,
                     cache_hits=bundle.cache_hits,
+                    version=bundle.version,
                 )
             )
             if len(collector.replies) == collector.expected:
@@ -563,6 +640,7 @@ class QueryAgent:
                     truncated=bundle.truncated,
                     visited=bundle.visited,
                     cache_hits=bundle.cache_hits,
+                    version=bundle.version,
                 ),
             )
             return
@@ -580,14 +658,46 @@ class DistributedQueryEngine:
     the query cost.
     """
 
-    def __init__(self, runtime, provenance: Optional[ProvenanceEngine] = None):
+    def __init__(
+        self,
+        runtime,
+        provenance: Optional[ProvenanceEngine] = None,
+        cache_validation: str = CACHE_VALIDATION_VID,
+    ):
         self.runtime = runtime
         provenance = provenance if provenance is not None else runtime.provenance
         if provenance is None:
             raise QueryError(
                 "the runtime has no provenance engine; construct it with provenance=True"
             )
+        if cache_validation not in (CACHE_VALIDATION_VID, CACHE_VALIDATION_GLOBAL):
+            raise QueryError(
+                f"cache_validation must be {CACHE_VALIDATION_VID!r} or "
+                f"{CACHE_VALIDATION_GLOBAL!r}, not {cache_validation!r}"
+            )
         self.provenance: ProvenanceEngine = provenance
+        #: Per-node query-cache capacity, taken from the runtime
+        #: (``NetTrailsRuntime(query_cache_capacity=...)``): ``None`` there
+        #: keeps :data:`DEFAULT_CACHE_CAPACITY`, ``0`` disables the cap.
+        raw_capacity = getattr(runtime, "query_cache_capacity", None)
+        if raw_capacity is None:
+            self.cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY
+        elif raw_capacity == 0:
+            self.cache_capacity = None
+        else:
+            self.cache_capacity = raw_capacity
+        #: How cache entries are validated: per-VID reachability versions
+        #: (the default — unrelated deltas keep entries alive) or the coarse
+        #: global provenance version (any delta anywhere invalidates
+        #: everything; kept as an ablation knob and as the automatic
+        #: fallback for duck-typed recorders without per-VID versions).
+        self.cache_validation = cache_validation
+        self._vid_version_fn = (
+            getattr(provenance, "vid_version", None)
+            if cache_validation == CACHE_VALIDATION_VID
+            else None
+        )
+        self._global_version_fn = getattr(provenance, "global_version", None)
         self._reducers: Dict[str, QueryReducer] = dict(BUILTIN_REDUCERS)
         self._agents: Dict[object, QueryAgent] = {}
         for node_id, node in runtime.nodes.items():
@@ -614,10 +724,30 @@ class DistributedQueryEngine:
         return self._reducers[mode]
 
     def global_version(self) -> int:
-        """A counter that changes whenever any provenance table changes anywhere."""
+        """A counter that changes whenever any provenance table changes anywhere.
+
+        Served from :meth:`ProvenanceEngine.global_version`'s memoized
+        counter in O(1); the O(#nodes) scan over every partition remains
+        only as the fallback for duck-typed recorders without one.
+        """
+        if self._global_version_fn is not None:
+            return self._global_version_fn()
         return sum(
             self.provenance.store(node_id).version for node_id in self.provenance.node_ids()
         )
+
+    def entry_version(self, vid: str) -> int:
+        """The version cache entries for *vid* are tagged with and validated against.
+
+        Per-VID reachability version under the default validation mode —
+        bumped only when *vid*'s downstream provenance subgraph changes — or
+        the global version under ``cache_validation="global"`` (and for
+        recorders that don't track per-VID versions), where any delta
+        anywhere invalidates every entry.
+        """
+        if self._vid_version_fn is not None:
+            return self._vid_version_fn(vid)
+        return self.global_version()
 
     def agent(self, node_id: object) -> QueryAgent:
         return self._agents[node_id]
@@ -710,13 +840,16 @@ class DistributedQueryEngine:
     # -- cache statistics -----------------------------------------------------------------------
 
     def cache_stats(self) -> Dict[object, Dict[str, int]]:
-        """Per-node cache hit/miss/store counters."""
+        """Per-node cache hit/miss/store/eviction counters."""
         return {
-            node_id: {
-                "hits": agent.cache.hits,
-                "misses": agent.cache.misses,
-                "stores": agent.cache.stores,
-                "entries": len(agent.cache),
-            }
+            node_id: dict(agent.cache.counters())
             for node_id, agent in sorted(self._agents.items(), key=lambda item: repr(item[0]))
         }
+
+    def cache_totals(self) -> Dict[str, int]:
+        """System-wide cache counters, summed over every node's cache."""
+        totals: Dict[str, int] = {}
+        for stats in self.cache_stats().values():
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import UnknownNodeError
+from repro.errors import EngineError, UnknownNodeError
 from repro.ndlog.ast import Program
 from repro.ndlog.functions import FunctionRegistry
 from repro.ndlog.parser import parse_program
@@ -43,7 +43,9 @@ class NetTrailsRuntime:
     simulator events (``"serial"`` — the default reference mode — or the
     concurrent ``"thread"`` / ``"asyncio"`` backends, which run distinct
     nodes' drains and deliveries in parallel with bit-identical results; see
-    :mod:`repro.engine.backends`).  The runtime is a context manager —
+    :mod:`repro.engine.backends`).  ``query_cache_capacity=`` bounds each
+    node's provenance-query result cache (``None`` = engine default, ``0`` =
+    uncapped).  The runtime is a context manager —
     ``with NetTrailsRuntime(...) as runtime:`` releases backend and shard
     worker threads on exit, which is the leak-proof way to use worker-backed
     configurations in tests.
@@ -71,6 +73,7 @@ class NetTrailsRuntime:
         backend: BackendSpec = None,
         backend_workers: Optional[int] = None,
         batch_commit_stall_s: float = 0.0,
+        query_cache_capacity: Optional[int] = None,
     ):
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
@@ -114,6 +117,16 @@ class NetTrailsRuntime:
         #: provenance tables.
         self.num_shards = num_shards
         self.shard_workers = shard_workers
+        #: Per-node provenance-query-cache capacity consumed by
+        #: :class:`repro.core.query.DistributedQueryEngine`: ``None`` keeps
+        #: the engine default (:data:`repro.core.optimizations.DEFAULT_CACHE_CAPACITY`),
+        #: ``0`` disables the cap entirely, any other value is the LRU entry
+        #: limit per node.
+        if query_cache_capacity is not None and query_cache_capacity < 0:
+            raise EngineError(
+                f"query_cache_capacity must be >= 0 or None, got {query_cache_capacity}"
+            )
+        self.query_cache_capacity = query_cache_capacity
         self.nodes: Dict[object, Node] = {}
         for name in topology.nodes:
             self.nodes[name] = Node(

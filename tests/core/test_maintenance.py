@@ -133,3 +133,124 @@ class TestDisabledProvenance:
         with_provenance = mincost.setup(ring5, provenance=True)
         sizes = with_provenance.provenance.table_sizes()
         assert sizes["prov"] >= with_provenance.total_facts()
+
+
+class TestPerVidVersions:
+    """Per-VID reachability versions: bump exactly the changed subgraph's ancestors."""
+
+    CHAIN_PROGRAM = """
+    r1 hop(@D, S) :- edge(@S, D).
+    r2 hop2(@D, S) :- hop(@M, S), edge(@M, D).
+    """
+
+    @pytest.fixture
+    def chain(self):
+        from repro.engine.runtime import NetTrailsRuntime
+
+        runtime = NetTrailsRuntime(self.CHAIN_PROGRAM, topology.line(3))
+        runtime.insert("edge", ["n0", "n1"])
+        runtime.insert("edge", ["n1", "n2"])
+        runtime.run_to_quiescence()
+        vids = {
+            "edge01": vid_for(Fact.make("edge", ["n0", "n1"])),
+            "edge12": vid_for(Fact.make("edge", ["n1", "n2"])),
+            "hop": vid_for(Fact.make("hop", ["n1", "n0"])),
+            "hop2": vid_for(Fact.make("hop2", ["n2", "n0"])),
+        }
+        return runtime, vids
+
+    def test_versions_assigned_on_initial_derivation(self, chain):
+        runtime, vids = chain
+        provenance = runtime.provenance
+        for name, vid in vids.items():
+            assert provenance.vid_version(vid) > 0, name
+
+    def test_delete_bumps_ancestors_not_descendants(self, chain):
+        runtime, vids = chain
+        provenance = runtime.provenance
+        before = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        runtime.delete("edge", ["n1", "n2"])
+        runtime.run_to_quiescence()
+        after = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        # The deleted base and the tuple derived through it change...
+        assert after["edge12"] > before["edge12"]
+        assert after["hop2"] > before["hop2"]
+        # ...but the rest of the chain is downstream of neither.
+        assert after["edge01"] == before["edge01"]
+        assert after["hop"] == before["hop"]
+
+    def test_delete_propagates_transitively_upward(self, chain):
+        runtime, vids = chain
+        provenance = runtime.provenance
+        before = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        runtime.delete("edge", ["n0", "n1"])
+        runtime.run_to_quiescence()
+        after = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        # hop2 is two derivation steps above the deleted base (and lives two
+        # nodes away); the upward walk must still reach it.
+        assert after["edge01"] > before["edge01"]
+        assert after["hop"] > before["hop"]
+        assert after["hop2"] > before["hop2"]
+        assert after["edge12"] == before["edge12"]
+
+    def test_insert_propagates_like_delete(self, chain):
+        runtime, vids = chain
+        provenance = runtime.provenance
+        runtime.delete("edge", ["n0", "n1"])
+        runtime.run_to_quiescence()
+        before = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        runtime.insert("edge", ["n0", "n1"])
+        runtime.run_to_quiescence()
+        after = {name: provenance.vid_version(vid) for name, vid in vids.items()}
+        assert after["edge01"] > before["edge01"]
+        assert after["hop"] > before["hop"]
+        assert after["hop2"] > before["hop2"]
+        assert after["edge12"] == before["edge12"]
+
+    def test_propagation_covers_graph_forward_closure(self, ring_runtime):
+        """Oracle check: flapping a base link bumps (at least) every vertex
+        whose forward closure in the assembled graph contains it, and leaves
+        vertices outside every plausible blast radius untouched."""
+        provenance = ring_runtime.provenance
+        link = Fact.make("link", ["n0", "n1", 1.0])
+        link_vid = vid_for(link)
+        closure = provenance.build_graph().affected_vids(link_vid)
+        assert closure  # the link derives paths, so the closure is non-empty
+        before = {vid: provenance.vid_version(vid) for vid in closure | {link_vid}}
+        ring_runtime.remove_link("n0", "n1")
+        ring_runtime.run_to_quiescence()
+        ring_runtime.add_link("n0", "n1", 1.0)
+        ring_runtime.run_to_quiescence()
+        for vid in closure | {link_vid}:
+            assert provenance.vid_version(vid) > before[vid], vid
+
+    def test_aggregate_head_isolated_from_losing_alternatives(self):
+        """Adding a worse alternative to a min-group must not bump the head:
+        the winning derivation — what a traversal visits — is unchanged."""
+        star = topology.star(5)
+        runtime = mincost.setup(star)
+        provenance = runtime.provenance
+        hub = "n0"
+        # minCost(n1 -> hub) is the direct link; churn a *different* leaf's
+        # link, which rewrites many path groups but not this winner's subtree.
+        target_vid = provenance.vid_of("minCost", ["n1", hub, 1.0])
+        before = provenance.vid_version(target_vid)
+        runtime.remove_link("n2", hub)
+        runtime.run_to_quiescence()
+        runtime.add_link("n2", hub, 1.0)
+        runtime.run_to_quiescence()
+        assert provenance.vid_version(target_vid) == before
+
+
+class TestGlobalVersionMemo:
+    def test_global_version_equals_partition_sum(self, ring_runtime):
+        provenance = ring_runtime.provenance
+        assert provenance.global_version() == sum(provenance.versions().values())
+        ring_runtime.remove_link("n0", "n1")
+        ring_runtime.run_to_quiescence()
+        assert provenance.global_version() == sum(provenance.versions().values())
+
+    def test_fresh_engine_starts_at_zero(self):
+        engine = ProvenanceEngine()
+        assert engine.global_version() == 0
+        assert engine.vid_version("anything") == 0

@@ -73,3 +73,123 @@ class TestNodeQueryCache:
         cache.store("vid_x", "lineage", QueryOptions(), version=1, value="v")
         cache.clear()
         assert len(cache) == 0
+
+
+class TestCacheCapacityAndSweep:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            NodeQueryCache(capacity=0)
+        with pytest.raises(ValueError):
+            NodeQueryCache(capacity=-3)
+
+    def test_lru_eviction_order(self):
+        cache = NodeQueryCache(capacity=2)
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_a", "lineage", options, version=1, value="A")
+        cache.store("vid_b", "lineage", options, version=1, value="B")
+        assert cache.lookup("vid_a", "lineage", options, version=1) == "A"  # refresh A
+        cache.store("vid_c", "lineage", options, version=1, value="C")  # evicts B
+        assert cache.evictions == 1
+        assert cache.lookup("vid_b", "lineage", options, version=1) is None
+        assert cache.lookup("vid_a", "lineage", options, version=1) == "A"
+        assert cache.lookup("vid_c", "lineage", options, version=1) == "C"
+
+    def test_sweep_prefers_dead_entries_over_live_evictions(self):
+        current = {"vid_a": 1, "vid_b": 1, "vid_c": 1, "vid_d": 1}
+        cache = NodeQueryCache(capacity=3, version_fn=current.__getitem__)
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_a", "lineage", options, version=1, value="A")
+        cache.store("vid_b", "lineage", options, version=1, value="B")
+        cache.store("vid_c", "lineage", options, version=1, value="C")
+        current["vid_b"] = 2  # vid_b's subtree churns: its entry is now dead
+        cache.store("vid_d", "lineage", options, version=1, value="D")  # overflows
+        # The dead entry was swept; no live entry was sacrificed.
+        assert cache.stale_dropped == 1
+        assert cache.evictions == 0
+        assert len(cache) == 3
+        assert cache.lookup("vid_a", "lineage", options, version=1) == "A"
+
+    def test_store_rejects_stillborn_entries(self):
+        """A tag already superseded by churn (capture-at-start race or an
+        in-flight reply) never occupies a slot."""
+        current = {"vid_a": 5}
+        cache = NodeQueryCache(capacity=None, version_fn=current.__getitem__)
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_a", "lineage", options, version=4, value="stale")
+        assert len(cache) == 0
+        assert cache.stores == 0
+        assert cache.stale_dropped == 1
+
+    def test_manual_sweep_reports_drop_count(self):
+        current = {"vid_a": 4, "vid_b": 1}
+        cache = NodeQueryCache(capacity=None, version_fn=current.__getitem__)
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_a", "lineage", options, version=4, value="doomed")
+        cache.store("vid_b", "lineage", options, version=1, value="live")
+        current["vid_a"] = 5  # vid_a's subtree churns after the store
+        assert cache.sweep() == 1
+        assert len(cache) == 1
+        assert cache.stale_dropped == 1
+        assert cache.lookup("vid_b", "lineage", options, version=1) == "live"
+
+    def test_sweep_without_version_fn_is_noop(self):
+        cache = NodeQueryCache(capacity=None)
+        cache.store("vid_a", "lineage", QueryOptions(), version=1, value="v")
+        assert cache.sweep() == 0
+        assert len(cache) == 1
+
+    def test_uncapped_cache_never_evicts(self):
+        cache = NodeQueryCache(capacity=None)
+        options = QueryOptions(use_cache=True)
+        for index in range(1000):
+            cache.store(f"vid_{index}", "lineage", options, version=1, value=index)
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_stale_lookup_counts_stale_dropped(self):
+        cache = NodeQueryCache()
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_x", "lineage", options, version=1, value="old")
+        assert cache.lookup("vid_x", "lineage", options, version=2) is None
+        assert cache.stale_dropped == 1
+
+    def test_counters_shape(self):
+        cache = NodeQueryCache()
+        assert dict(cache.counters()) == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "stale_dropped": 0,
+            "entries": 0,
+        }
+
+    def test_sweep_skipped_while_clock_unchanged(self):
+        current = {"vid_a": 1, "vid_b": 1, "vid_c": 1}
+        probes = []
+
+        def version_fn(vid):
+            probes.append(vid)
+            return current[vid]
+
+        clock = [7]
+        cache = NodeQueryCache(capacity=2, version_fn=version_fn, clock_fn=lambda: clock[0])
+        options = QueryOptions(use_cache=True)
+        cache.store("vid_a", "lineage", options, version=1, value="A")  # first sweep runs
+        baseline_probes = len(probes)
+        # While the clock is unchanged nothing can have died: each store
+        # pays exactly one O(1) validation probe, never an O(entries) sweep.
+        cache.store("vid_b", "lineage", options, version=1, value="B")
+        assert len(probes) == baseline_probes + 1
+        cache.store("vid_c", "lineage", options, version=1, value="C")  # overflow: LRU only
+        assert len(probes) == baseline_probes + 2
+        assert cache.evictions == 1
+        # Once the clock moves, sweeping resumes and reclaims dead entries
+        # instead of evicting live ones.
+        current["vid_b"] = 2  # vid_b's entry (still resident) dies
+        clock[0] = 8
+        cache.store("vid_a", "lineage", options, version=1, value="A2")
+        assert cache.stale_dropped == 1
+        assert cache.evictions == 1  # the freed slot came from the sweep
+        assert cache.lookup("vid_b", "lineage", options, version=1) is None
+        assert cache.lookup("vid_c", "lineage", options, version=1) == "C"

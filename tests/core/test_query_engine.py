@@ -142,18 +142,66 @@ class TestOptimizations:
         assert second.stats.messages == 0
         assert second.stats.cache_hits >= 1
 
-    def test_cache_invalidated_by_provenance_change(self, pathvector_line):
+    def test_cache_invalidated_by_subtree_change(self, pathvector_line):
+        """Churn that touches the queried subtree must invalidate the entry."""
         runtime = pathvector_line
         queries = DistributedQueryEngine(runtime)
         options = QueryOptions(use_cache=True)
         first = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
-        # Any provenance change (even an unrelated link) invalidates the cache.
+        # Flap a link on the queried path: the tuple is retracted and
+        # re-derived, so its reachability version moves past the entry's.
+        runtime.remove_link("n2", "n3")
+        runtime.run_to_quiescence()
+        runtime.add_link("n2", "n3", 1.0)
+        runtime.run_to_quiescence()
+        second = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        assert second.value == first.value
+        assert second.stats.messages > 0  # cache entry was stale, traversal re-ran
+
+    def test_unrelated_churn_keeps_cache_entries(self, pathvector_line):
+        """Per-VID validation: a delta outside the queried subtree is invisible."""
+        runtime = pathvector_line
+        queries = DistributedQueryEngine(runtime)
+        options = QueryOptions(use_cache=True)
+        first = queries.lineage("bestPathCost", ["n0", "n1", 1.0], options=options)
+        # Churn at the far end of the chain: provenance changes everywhere
+        # around, but not in bestPathCost(n0, n1)'s derivation subtree.
+        runtime.remove_link("n2", "n3")
+        runtime.run_to_quiescence()
+        runtime.add_link("n2", "n3", 1.0)
+        runtime.run_to_quiescence()
+        second = queries.lineage("bestPathCost", ["n0", "n1", 1.0], options=options)
+        assert second.value == first.value
+        assert second.stats.cache_hits >= 1
+        assert second.stats.messages == 0
+
+    def test_global_validation_mode_flushes_on_any_delta(self, pathvector_line):
+        """The ablation knob re-creates the coarse flush-on-any-delta scheme."""
+        runtime = pathvector_line
+        queries = DistributedQueryEngine(runtime, cache_validation="global")
+        options = QueryOptions(use_cache=True)
+        first = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
+        # An unrelated (losing) link still bumps the global version.
         runtime.insert("link", ["n3", "n0", 10.0])
         runtime.insert("link", ["n0", "n3", 10.0])
         runtime.run_to_quiescence()
         second = queries.lineage("bestPathCost", ["n0", "n3", 3.0], options=options)
         assert second.value == first.value
-        assert second.stats.messages > 0  # cache entry was stale, traversal re-ran
+        assert second.stats.messages > 0
+        with pytest.raises(QueryError):
+            DistributedQueryEngine(runtime, cache_validation="psychic")
+
+    def test_remote_issuer_caches_reply_version(self, mincost_engine):
+        """Reply bundles carry their computed-at version; the issuing node's
+        cache answers the repeat query without any network hop."""
+        _, queries = mincost_engine
+        options = QueryOptions(use_cache=True)
+        first = queries.lineage("minCost", ["n0", "n2", 2.0], at="n3", options=options)
+        second = queries.lineage("minCost", ["n0", "n2", 2.0], at="n3", options=options)
+        assert second.value == first.value
+        assert first.stats.messages > 0
+        assert second.stats.messages == 0
+        assert second.stats.cache_hits == 1
 
     def test_parallel_fanout_batches_messages_and_rounds(self):
         """Two derivations at one peer: parallel = 1 request + 1 reply batch.
@@ -240,4 +288,31 @@ class TestOptimizations:
         queries.lineage("minCost", ["n0", "n1", 1.0], options=QueryOptions(use_cache=True))
         stats = queries.cache_stats()
         assert "n0" in stats
-        assert set(stats["n0"]) == {"hits", "misses", "stores", "entries"}
+        assert set(stats["n0"]) == {
+            "hits",
+            "misses",
+            "stores",
+            "entries",
+            "evictions",
+            "stale_dropped",
+        }
+        totals = queries.cache_totals()
+        assert totals["stores"] == sum(entry["stores"] for entry in stats.values())
+
+    def test_differing_options_never_share_an_entry(self, mincost_engine):
+        """Regression: (threshold, max_depth) are part of the cache key, so
+        queries with different pruning settings must not serve each other."""
+        _, queries = mincost_engine
+        target = ["n0", "n2", 2.0]
+        # Neither run truncates (threshold/max_depth are generous), so both
+        # complete, both are cached — under *separate* keys.
+        loose = queries.lineage("minCost", target, options=QueryOptions(use_cache=True))
+        bounded = queries.lineage(
+            "minCost", target, options=QueryOptions(use_cache=True, threshold=50, max_depth=50)
+        )
+        assert bounded.value == loose.value
+        assert bounded.stats.cache_hits == 0  # second query could not reuse the first
+        repeat = queries.lineage(
+            "minCost", target, options=QueryOptions(use_cache=True, threshold=50, max_depth=50)
+        )
+        assert repeat.stats.cache_hits >= 1  # but an exact-options repeat can
