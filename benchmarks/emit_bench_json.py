@@ -7,7 +7,10 @@ Runs compact, deterministic versions of the headline experiments —
 * **E13** concurrent node-drain backends (thread/asyncio vs serial on a
   multi-hub AS hierarchy),
 * **E14** per-VID query-cache invalidation (cache hit/miss/eviction counters
-  under unrelated churn, vs the global-version ablation) —
+  under unrelated churn, vs the global-version ablation),
+* **E15** the workload subsystem's ``smoke`` scenario profile (seeded churn
+  generators + Zipf query waves through the scenario driver; the 1000+-node
+  ``scale`` profile stays in the opt-in ``workflow_dispatch`` CI run) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -45,6 +48,7 @@ from test_e11_batching import run_churn  # noqa: E402
 from test_e12_sharding import HUB, run_hub_churn  # noqa: E402
 from test_e13_backends import run_multi_hub_churn  # noqa: E402
 from test_e14_cache import run_cache_workload, run_capped_workload  # noqa: E402
+from test_e15_scale import run_smoke_profile  # noqa: E402
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -136,6 +140,30 @@ def collect_metrics() -> dict:
             "E14 invariant violated: per-VID validation no longer beats the "
             f"global ablation ({sum(per_vid['per_step_hits'])} hits vs "
             f"{sum(coarse['per_step_hits'])})"
+        )
+
+    # E15 — the workload subsystem's smoke scenario (seeded churn generators
+    # interleaved with Zipf-skewed query waves).  The engine is
+    # deterministic, so every counter of the report is gated; wall-clock is
+    # recorded only.  The serial run is the gate; a thread-backend run must
+    # reproduce the counters bit for bit (the determinism contract).
+    smoke = run_smoke_profile(backend="serial")
+    totals = smoke.totals()
+    metrics["e15.smoke.deltas"] = _metric(totals["deltas"])
+    metrics["e15.smoke.messages"] = _metric(totals["messages"])
+    metrics["e15.smoke.events"] = _metric(totals["events"])
+    metrics["e15.smoke.rounds"] = _metric(totals["rounds"])
+    metrics["e15.smoke.queries"] = _metric(totals["queries"])
+    metrics["e15.smoke.query_messages"] = _metric(totals["query_messages"])
+    metrics["e15.smoke.cache_hits"] = _metric(
+        smoke.cache.get("hits", 0), higher_is_better=True
+    )
+    metrics["e15.smoke.seconds"] = _metric(round(smoke.seconds, 3), gate=False)
+    threaded_smoke = run_smoke_profile(backend="thread")
+    if threaded_smoke.deterministic_view() != smoke.deterministic_view():
+        raise SystemExit(
+            "E15 invariant violated: thread-backend smoke metrics diverge "
+            "from the serial reference"
         )
     return metrics
 

@@ -21,31 +21,36 @@ latency.  This experiment quantifies both halves of the batch-first runtime:
 
 import time
 
-import pytest
-
 from repro.core.optimizations import QueryOptions
 from repro.core.query import DistributedQueryEngine
 from repro.engine import topology
-from repro.engine.runtime import NetTrailsRuntime
-from repro.protocols import mincost, path_vector
+from repro.protocols import path_vector
+from repro.workloads import ChurnPhase, ScenarioDriver, ScenarioSpec, TopologySpec
 
-#: Rounds of delete-half / reinsert-half link churn; sized so the workload
-#: applies well over 500 base-tuple deltas (asserted below).
-CHURN_ROUNDS = 7
+#: The churn workload, expressed as a scenario spec: heavy link flapping on a
+#: 12-node random graph, sized so the trace applies well over 500 base-tuple
+#: deltas (asserted below).  The two runtimes under comparison are the same
+#: spec with only the ``batch_deltas`` knob toggled.
+CHURN_SPEC = ScenarioSpec(
+    name="e11-churn",
+    topology=TopologySpec.make("random_connected", count=12, edge_probability=0.5, seed=11),
+    protocol="mincost",
+    seed=11,
+    churn=(ChurnPhase.make("link_flap", batches=7, flaps_per_batch=18, fast_ratio=0.5),),
+)
 
 
 def run_churn(batch_deltas):
-    """Seed MINCOST, then churn half the links repeatedly; returns (runtime, deltas)."""
-    net = topology.random_connected(12, edge_probability=0.5, seed=11)
-    runtime = NetTrailsRuntime(mincost.program(), net, batch_deltas=batch_deltas)
-    deltas = runtime.seed_links(run=True)
-    rows = [list(values) for values in runtime.state("link")]
-    half = rows[::2]
-    for _ in range(CHURN_ROUNDS):
-        runtime.delete_batch("link", half, run=True)
-        runtime.insert_batch("link", half, run=True)
-        deltas += 2 * len(half)
-    return runtime, deltas
+    """Drive the churn scenario; returns (runtime, applied churn deltas).
+
+    The driver is closed before returning (worker threads released, in case
+    the ``NETTRAILS_BACKEND`` hook selected a concurrent backend); the
+    returned runtime stays readable for state and counter comparisons.
+    """
+    with ScenarioDriver(CHURN_SPEC.with_knobs(batch_deltas=batch_deltas)) as driver:
+        report = driver.run()
+    deltas = report.totals()["deltas"] - report.phase("seed").deltas
+    return driver.runtime, deltas
 
 
 def test_batched_deltas_beat_per_fact_evaluation(benchmark, record):

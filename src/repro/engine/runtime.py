@@ -11,6 +11,7 @@ for the log store.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import EngineError, UnknownNodeError
@@ -25,6 +26,36 @@ from repro.engine.simulator import Simulator
 from repro.engine.store import BASE_DERIVATION
 from repro.engine.topology import Topology
 from repro.engine.tuples import Fact
+
+#: Environment variable consulted when ``query_cache_capacity`` is not set
+#: explicitly (parity with ``NETTRAILS_BACKEND``): an integer per-node LRU
+#: entry limit, ``0`` meaning uncapped.  Profiles and CI jobs use it to
+#: sweep cache capacities without code changes.
+CACHE_CAPACITY_ENV_VAR = "NETTRAILS_QUERY_CACHE_CAPACITY"
+
+
+def default_query_cache_capacity() -> Optional[int]:
+    """The capacity used when none is requested: the env hook, else ``None``.
+
+    ``None`` (variable unset or empty) defers to the query engine's default
+    (:data:`repro.core.optimizations.DEFAULT_CACHE_CAPACITY`).  A
+    malformed or negative value raises :class:`~repro.errors.EngineError`
+    rather than being silently ignored.
+    """
+    raw = os.environ.get(CACHE_CAPACITY_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise EngineError(
+            f"{CACHE_CAPACITY_ENV_VAR}={raw!r} is not an integer query-cache capacity"
+        )
+    if capacity < 0:
+        raise EngineError(
+            f"{CACHE_CAPACITY_ENV_VAR} must be >= 0 (0 = uncapped), got {capacity}"
+        )
+    return capacity
 
 
 class NetTrailsRuntime:
@@ -121,8 +152,12 @@ class NetTrailsRuntime:
         #: :class:`repro.core.query.DistributedQueryEngine`: ``None`` keeps
         #: the engine default (:data:`repro.core.optimizations.DEFAULT_CACHE_CAPACITY`),
         #: ``0`` disables the cap entirely, any other value is the LRU entry
-        #: limit per node.
-        if query_cache_capacity is not None and query_cache_capacity < 0:
+        #: limit per node.  When not set explicitly, the
+        #: ``NETTRAILS_QUERY_CACHE_CAPACITY`` environment variable is
+        #: consulted (parity with ``NETTRAILS_BACKEND``).
+        if query_cache_capacity is None:
+            query_cache_capacity = default_query_cache_capacity()
+        elif query_cache_capacity < 0:
             raise EngineError(
                 f"query_cache_capacity must be >= 0 or None, got {query_cache_capacity}"
             )

@@ -18,17 +18,41 @@ from repro.errors import EngineError
 
 @dataclass
 class Topology:
-    """A named, undirected, weighted topology."""
+    """A named, undirected, weighted topology.
+
+    An adjacency index (node -> neighbor set) is maintained alongside the
+    canonical ``edges`` dict, so :meth:`neighbors` is O(degree) rather than a
+    full edge scan — the difference between O(E) and O(deg) per call matters
+    once generated AS graphs reach thousands of nodes and the scenario driver
+    touches neighbors per node per wave.  Always mutate through
+    :meth:`add_edge` / :meth:`remove_edge` (the index is private and kept out
+    of equality comparisons; it is rebuilt if a topology is constructed from
+    an explicit ``edges`` dict).
+    """
 
     name: str
     nodes: List[str] = field(default_factory=list)
     edges: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    _adjacency: Dict[str, Set[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._adjacency = {node: set() for node in self.nodes}
+        for (a, b) in self.edges:
+            for node in (a, b):
+                if node not in self._adjacency:
+                    self.nodes.append(node)
+                    self._adjacency[node] = set()
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
 
     # -- construction ---------------------------------------------------------
 
     def add_node(self, node: str) -> None:
-        if node not in self.nodes:
+        if node not in self._adjacency:
             self.nodes.append(node)
+            self._adjacency[node] = set()
 
     def add_edge(self, a: str, b: str, cost: float = 1.0) -> None:
         """Add an undirected edge between *a* and *b* (stored once, normalised)."""
@@ -37,9 +61,13 @@ class Topology:
         self.add_node(a)
         self.add_node(b)
         self.edges[self._key(a, b)] = cost
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
 
     def remove_edge(self, a: str, b: str) -> None:
-        self.edges.pop(self._key(a, b), None)
+        if self.edges.pop(self._key(a, b), None) is not None:
+            self._adjacency[a].discard(b)
+            self._adjacency[b].discard(a)
 
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
@@ -54,13 +82,11 @@ class Topology:
         return self.edges[self._key(a, b)]
 
     def neighbors(self, node: str) -> List[str]:
-        result = []
-        for (a, b) in self.edges:
-            if a == node:
-                result.append(b)
-            elif b == node:
-                result.append(a)
-        return sorted(result)
+        return sorted(self._adjacency.get(node, ()))
+
+    def degree(self, node: str) -> int:
+        """The number of incident edges, O(1) via the adjacency index."""
+        return len(self._adjacency.get(node, ()))
 
     def directed_edges(self) -> List[Tuple[str, str, float]]:
         """Both directions of every undirected edge, with its cost."""
@@ -238,6 +264,65 @@ def isp_hierarchy(
             for k in range(stubs_per_tier2):
                 stub = f"stub_{i}_{j}_{k}"
                 topology.add_edge(tier2, stub, 1.0)
+    return topology
+
+
+def power_law(
+    count: int,
+    attach: int = 2,
+    seed: int = 0,
+    cost: float = 1.0,
+    prefix: str = "n",
+) -> Topology:
+    """A preferential-attachment (Barabási–Albert style) AS-like topology.
+
+    Growth starts from a connected clique of ``attach + 1`` nodes; every
+    subsequent node attaches to *attach* distinct existing nodes chosen with
+    probability proportional to their current degree.  The result has the
+    heavy-tailed degree skew of real AS graphs — a few hub "providers" with
+    very high degree, many low-degree stubs — and is **connected by
+    construction**: every new node links into the already-connected
+    component, so no connectivity repair pass is needed.  Fully deterministic
+    for a given seed.
+
+    >>> net = power_law(50, attach=2, seed=3)
+    >>> net.node_count(), net.is_connected()
+    (50, True)
+    >>> max(net.degree(n) for n in net.nodes) >= 8  # hub skew
+    True
+    """
+    if attach < 1:
+        raise EngineError(f"power_law attach must be >= 1, got {attach}")
+    if count < attach + 1:
+        raise EngineError(
+            f"power_law needs count >= attach + 1 ({attach + 1}), got {count}"
+        )
+    rng = random.Random(seed)
+    topology = Topology(name=f"powerlaw-{count}-m{attach}-s{seed}")
+    names = _node_names(count, prefix)
+    core = names[: attach + 1]
+    for name in core:
+        topology.add_node(name)
+    for i, a in enumerate(core):
+        for b in core[i + 1 :]:
+            topology.add_edge(a, b, cost)
+
+    # Degree-proportional sampling via the repeated-endpoints list: every
+    # edge contributes both endpoints, so drawing uniformly from the list is
+    # exactly preferential attachment.
+    endpoints: List[str] = []
+    for (a, b) in topology.edges:
+        endpoints.append(a)
+        endpoints.append(b)
+    for name in names[attach + 1 :]:
+        chosen: Set[str] = set()
+        while len(chosen) < attach:
+            chosen.add(endpoints[rng.randrange(len(endpoints))])
+        topology.add_node(name)
+        for target in sorted(chosen):
+            topology.add_edge(name, target, cost)
+            endpoints.append(name)
+            endpoints.append(target)
     return topology
 
 

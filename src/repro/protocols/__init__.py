@@ -11,10 +11,12 @@ Protocols included (the ones named in the paper's demonstration plan):
 * :mod:`repro.protocols.mincost` — MINCOST, pair-wise minimal path costs;
 * :mod:`repro.protocols.path_vector` — path-vector routing with loop avoidance;
 * :mod:`repro.protocols.distance_vector` — distance-vector (hop count) routing;
-* :mod:`repro.protocols.dsr` — dynamic source routing (on-demand route discovery).
+* :mod:`repro.protocols.dsr` — dynamic source routing (on-demand route discovery);
+* :mod:`repro.protocols.prefix_routing` — BGP-style prefix announce/withdraw
+  with per-prefix (not all-pairs) state, the scale-profile workhorse.
 """
 
-from repro.protocols import distance_vector, dsr, mincost, path_vector
+from repro.protocols import distance_vector, dsr, mincost, path_vector, prefix_routing
 from repro.protocols.library import PROTOCOLS, protocol_names, protocol_program
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "path_vector",
     "distance_vector",
     "dsr",
+    "prefix_routing",
     "PROTOCOLS",
     "protocol_names",
     "protocol_program",

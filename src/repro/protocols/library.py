@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.ndlog.ast import Program
-from repro.protocols import distance_vector, dsr, mincost, path_vector
+from repro.protocols import distance_vector, dsr, mincost, path_vector, prefix_routing
 
 #: Protocol name -> module.  Every module exposes SOURCE / program() / setup().
 PROTOCOLS = {
@@ -20,6 +20,7 @@ PROTOCOLS = {
     "path_vector": path_vector,
     "distance_vector": distance_vector,
     "dsr": dsr,
+    "prefix_routing": prefix_routing,
 }
 
 

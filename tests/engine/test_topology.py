@@ -94,3 +94,72 @@ class TestShortestPaths:
         costs = net.shortest_path_costs()
         assert ("a", "c") not in costs
         assert not net.is_connected()
+
+
+class TestAdjacencyIndex:
+    def test_neighbors_track_adds_and_removes(self):
+        net = topology.ring(5)
+        assert net.neighbors("n0") == ["n1", "n4"]
+        net.remove_edge("n0", "n1")
+        assert net.neighbors("n0") == ["n4"]
+        net.add_edge("n0", "n2")
+        assert net.neighbors("n0") == ["n2", "n4"]
+        assert net.degree("n0") == 2
+
+    def test_index_rebuilt_from_explicit_edges(self):
+        net = topology.Topology(name="t", nodes=["x"], edges={("a", "b"): 1.0})
+        assert net.neighbors("a") == ["b"]
+        assert net.neighbors("x") == []
+        assert sorted(net.nodes) == ["a", "b", "x"]
+
+    def test_deepcopy_keeps_a_private_index(self):
+        import copy
+
+        net = topology.star(4)
+        clone = copy.deepcopy(net)
+        clone.remove_edge("n0", "n1")
+        assert net.neighbors("n1") == ["n0"]
+        assert clone.neighbors("n1") == []
+
+    def test_removing_absent_edge_is_a_noop(self):
+        net = topology.line(3)
+        net.remove_edge("n0", "n2")
+        assert net.neighbors("n0") == ["n1"]
+
+    def test_equality_ignores_the_index(self):
+        one = topology.ring(4)
+        two = topology.Topology(name=one.name, nodes=list(one.nodes), edges=dict(one.edges))
+        assert one == two
+
+    def test_matches_edge_scan_on_generated_graphs(self):
+        net = topology.power_law(60, attach=2, seed=5)
+        for node in net.nodes:
+            scanned = sorted(
+                b if a == node else a for (a, b) in net.edges if node in (a, b)
+            )
+            assert net.neighbors(node) == scanned
+
+
+class TestPowerLaw:
+    def test_connected_with_exact_node_count(self):
+        net = topology.power_law(120, attach=2, seed=1)
+        assert net.node_count() == 120
+        assert net.is_connected()
+
+    def test_degree_skew_has_hubs_and_stubs(self):
+        net = topology.power_law(300, attach=2, seed=2)
+        degrees = sorted(net.degree(node) for node in net.nodes)
+        assert degrees[0] == 2  # late attachers keep exactly `attach` links
+        assert degrees[-1] >= 5 * degrees[len(degrees) // 2], (
+            "expected heavy-tailed hubs from preferential attachment"
+        )
+
+    def test_deterministic_per_seed(self):
+        assert topology.power_law(80, seed=9).edges == topology.power_law(80, seed=9).edges
+        assert topology.power_law(80, seed=9).edges != topology.power_law(80, seed=10).edges
+
+    def test_validation(self):
+        with pytest.raises(EngineError):
+            topology.power_law(3, attach=3)
+        with pytest.raises(EngineError):
+            topology.power_law(10, attach=0)

@@ -25,6 +25,11 @@ adds that seed to the matrix — the nightly-style CI job draws a random seed,
 prints it, and exports it through this variable; the seed is also embedded
 in the pytest parametrize id and every assertion message so failures are
 reproducible with ``NETTRAILS_CHURN_SEED=<seed> pytest ...``.
+
+Scenario generation lives in :mod:`repro.workloads.churn`
+(``random_link_churn`` — the very generator the scenario driver schedules);
+this module only binds seeds to traces and replays them across the shard
+matrix, so the whole repo shares one definition of "random link churn".
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from repro.engine import topology
 from repro.engine.runtime import NetTrailsRuntime
 from repro.engine.store import ShardedTupleStore
 from repro.protocols import mincost, path_vector
+from repro.workloads.churn import ChurnBatch, apply_batch, random_link_churn
 
 
 def _seeds():
@@ -65,54 +71,27 @@ SHARD_VARIANTS = [(1, 0), (2, 0), (4, 0), (1, 2), (2, 2), (4, 2)]
 
 
 def generate_churn_script(seed, net, steps=6):
-    """A deterministic insert/delete/link-flap sequence applicable to *net*.
+    """A deterministic churn trace (one :class:`ChurnBatch` per step) for *net*.
 
-    The script is generated against a topology mirror so every op is valid at
-    the point it executes (no removing absent links, no duplicate adds); the
-    same explicit op list is then replayed on every runtime under test.
+    Generation is delegated to the workload subsystem's
+    :func:`~repro.workloads.churn.random_link_churn`, which tracks a topology
+    mirror so every op is valid at the point it executes (no removing absent
+    links, no duplicate adds); the same explicit trace is then replayed on
+    every runtime under test.  A "flap" step removes and re-adds a link
+    within one batch, so the deletion and re-insertion waves overlap in
+    flight — exercising net-transition collapsing across shard boundaries.
     """
-    rng = random.Random(seed)
     mirror = copy.deepcopy(net)
-    nodes = sorted(mirror.nodes)
-    removed = []
-    ops = []
-    while len(ops) < steps:
-        kind = rng.choice(["remove", "add_back", "add_new", "flap"])
-        if kind == "remove" and len(mirror.edges) > 1:
-            a, b = sorted(mirror.edges)[rng.randrange(len(mirror.edges))]
-            removed.append((a, b, mirror.cost(a, b)))
-            mirror.remove_edge(a, b)
-            ops.append(("remove", a, b, None))
-        elif kind == "add_back" and removed:
-            a, b, cost = removed.pop(rng.randrange(len(removed)))
-            mirror.add_edge(a, b, cost)
-            ops.append(("add", a, b, cost))
-        elif kind == "add_new":
-            a, b = rng.sample(nodes, 2)
-            if mirror.has_edge(a, b):
-                continue
-            cost = float(rng.randint(1, 4))
-            mirror.add_edge(a, b, cost)
-            ops.append(("add", a, b, cost))
-        elif kind == "flap" and mirror.edges:
-            a, b = sorted(mirror.edges)[rng.randrange(len(mirror.edges))]
-            ops.append(("flap", a, b, mirror.cost(a, b)))
-    return ops
+    rng = random.Random(seed)
+    return [
+        ChurnBatch(index=index, phase="random_link_churn", ops=ops)
+        for index, ops in enumerate(random_link_churn(mirror, rng, steps))
+    ]
 
 
-def apply_op(runtime, op):
-    action, a, b, cost = op
-    if action == "remove":
-        runtime.remove_link(a, b)
-    elif action == "add":
-        runtime.add_link(a, b, cost)
-    elif action == "flap":
-        # Remove and re-add before quiescence: the deletion wave and the
-        # re-insertion wave overlap in flight, exercising net-transition
-        # collapsing across shard boundaries.
-        runtime.remove_link(a, b)
-        runtime.add_link(a, b, cost)
-    runtime.run_to_quiescence()
+def apply_op(runtime, batch):
+    """Replay one churn batch and run to quiescence."""
+    apply_batch(runtime, batch, run=True)
 
 
 def build_runtime(program, net, **kwargs):

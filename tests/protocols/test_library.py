@@ -7,7 +7,13 @@ from repro.protocols import library
 
 class TestRegistry:
     def test_all_protocols_registered(self):
-        assert library.protocol_names() == ["distance_vector", "dsr", "mincost", "path_vector"]
+        assert library.protocol_names() == [
+            "distance_vector",
+            "dsr",
+            "mincost",
+            "path_vector",
+            "prefix_routing",
+        ]
 
     def test_programs_resolve(self):
         for name in library.protocol_names():

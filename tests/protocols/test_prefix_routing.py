@@ -1,0 +1,82 @@
+"""Tests for the BGP-style prefix-routing protocol."""
+
+from repro.core.query import DistributedQueryEngine
+from repro.engine import topology
+from repro.protocols import prefix_routing
+
+
+class TestFixpoint:
+    def test_single_origin_matches_reference_on_ring(self):
+        net = topology.ring(6)
+        runtime = prefix_routing.setup(net)
+        origins = [("n0", "p0")]
+        prefix_routing.announce(runtime, origins)
+        assert prefix_routing.check_against_reference(runtime, net, origins)
+        # Every node (within the cost bound) selected exactly one best route.
+        assert len(runtime.state("best")) == 6
+
+    def test_multi_homed_prefix_selects_the_nearer_origin(self):
+        net = topology.line(5)
+        runtime = prefix_routing.setup(net)
+        origins = [("n0", "p0"), ("n4", "p0")]
+        prefix_routing.announce(runtime, origins)
+        assert prefix_routing.check_against_reference(runtime, net, origins)
+        best = {node: cost for node, _prefix, cost in runtime.state("best")}
+        assert best["n1"] == 1.0  # via n0, not 3 hops via n4
+        assert best["n3"] == 1.0  # via n4
+
+    def test_cost_bound_limits_propagation(self):
+        net = topology.line(12)
+        runtime = prefix_routing.setup(net)
+        prefix_routing.announce(runtime, [("n0", "p0")])
+        reached = {node for node, _prefix, _cost in runtime.state("best")}
+        # Hops at cost >= MAX_COST are not derived.
+        assert reached == {f"n{i}" for i in range(prefix_routing.MAX_COST)}
+
+    def test_state_scales_with_prefixes_not_pairs(self):
+        net = topology.isp_hierarchy(3, 2, 2, seed=1)
+        runtime = prefix_routing.setup(net)
+        origins = [("stub_0_0_0", "p0"), ("stub_2_1_1", "p1")]
+        prefix_routing.announce(runtime, origins)
+        assert len(runtime.state("best")) <= 2 * net.node_count()
+
+
+class TestDynamics:
+    def test_withdraw_clears_routes(self):
+        net = topology.ring(5)
+        runtime = prefix_routing.setup(net)
+        origins = [("n0", "p0")]
+        prefix_routing.announce(runtime, origins)
+        assert runtime.state("best")
+        prefix_routing.withdraw(runtime, origins)
+        assert runtime.state("best") == []
+        assert runtime.state("route") == []
+
+    def test_losing_one_origin_reroutes_to_the_survivor(self):
+        net = topology.line(4)
+        runtime = prefix_routing.setup(net)
+        prefix_routing.announce(runtime, [("n0", "p0"), ("n3", "p0")])
+        prefix_routing.withdraw(runtime, [("n0", "p0")])
+        assert prefix_routing.check_against_reference(runtime, net, [("n3", "p0")])
+
+    def test_link_failure_reconverges_to_reference(self):
+        net = topology.ring(6)
+        runtime = prefix_routing.setup(net)
+        origins = [("n0", "p0")]
+        prefix_routing.announce(runtime, origins)
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        assert prefix_routing.check_against_reference(
+            runtime, runtime.topology, origins
+        )
+
+
+class TestProvenance:
+    def test_best_routes_have_queryable_lineage(self):
+        net = topology.star(5)
+        runtime = prefix_routing.setup(net)
+        prefix_routing.announce(runtime, [("n1", "p0")])
+        engine = DistributedQueryEngine(runtime)
+        target = sorted(runtime.state("best"), key=repr)[0]
+        result = engine.lineage("best", list(target))
+        assert result.value, "best route must have a non-empty lineage"

@@ -1,0 +1,85 @@
+"""Tests for the Zipf-skewed query-mix generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.engine import topology
+from repro.protocols import mincost
+from repro.workloads import QueryMixSpec, query_wave
+from repro.workloads.queries import ZipfSampler, weighted_choice
+
+
+class TestZipfSampler:
+    def test_rank_zero_dominates(self):
+        sampler = ZipfSampler(20, s=1.2)
+        rng = random.Random(3)
+        counts = Counter(sampler.sample(rng) for _ in range(2000))
+        assert counts[0] > counts[1] > counts[10]
+
+    def test_all_ranks_reachable(self):
+        sampler = ZipfSampler(5, s=0.5)
+        rng = random.Random(3)
+        assert set(sampler.sample(rng) for _ in range(2000)) == set(range(5))
+
+    def test_deterministic_for_seeded_rng(self):
+        draws = [
+            [ZipfSampler(10, s=1.3).sample(random.Random(7)) for _ in range(5)]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+
+class TestWeightedChoice:
+    def test_degenerate_mix_always_picks_the_only_entry(self):
+        rng = random.Random(1)
+        assert all(
+            weighted_choice(rng, (("lineage", 1.0),)) == "lineage" for _ in range(10)
+        )
+
+    def test_weights_shape_the_distribution(self):
+        rng = random.Random(5)
+        counts = Counter(
+            weighted_choice(rng, (("a", 0.9), ("b", 0.1))) for _ in range(1000)
+        )
+        assert counts["a"] > counts["b"] * 4
+
+
+class TestQueryWave:
+    def test_empty_relation_yields_empty_wave(self):
+        mix = QueryMixSpec(relation="minCost")
+        assert query_wave(random.Random(1), mix, []) == []
+
+    def test_wave_respects_mix_and_is_deterministic(self):
+        rows = [("n0", "n1", 1.0), ("n1", "n0", 1.0), ("n0", "n2", 2.0)]
+        mix = QueryMixSpec(
+            relation="minCost",
+            queries_per_wave=4,
+            modes=(("lineage", 0.5), ("participants", 0.5)),
+            traversals=(("sequential", 1.0),),
+            use_cache=False,
+        )
+        waves = [query_wave(random.Random(9), mix, rows) for _ in range(2)]
+        assert waves[0] == waves[1]
+        for call in waves[0]:
+            assert call.mode in ("lineage", "participants")
+            assert call.relation == "minCost"
+            assert tuple(call.values) in rows
+            assert call.options.traversal == "sequential"
+            assert call.options.use_cache is False
+
+    def test_calls_issue_against_a_live_engine(self):
+        from repro.core.query import DistributedQueryEngine
+
+        runtime = mincost.setup(topology.ring(4))
+        engine = DistributedQueryEngine(runtime)
+        mix = QueryMixSpec(relation="minCost", queries_per_wave=2)
+        wave = query_wave(random.Random(2), mix, runtime.state("minCost"))
+        for call in wave:
+            result = call.issue(engine)
+            assert result.value, call
