@@ -10,7 +10,10 @@ Runs compact, deterministic versions of the headline experiments —
   under unrelated churn, vs the global-version ablation),
 * **E15** the workload subsystem's ``smoke`` scenario profile (seeded churn
   generators + Zipf query waves through the scenario driver; the 1000+-node
-  ``scale`` profile stays in the opt-in ``workflow_dispatch`` CI run) —
+  ``scale`` profile stays in the opt-in ``workflow_dispatch`` CI run),
+* **E16** interval-indexed provenance queries (batched interval waves vs
+  the per-query reference traversal on the compact AS hierarchy; the
+  10x-at-1010-nodes claim stays in ``test_e16_interval.py``) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -49,6 +52,7 @@ from test_e12_sharding import HUB, run_hub_churn  # noqa: E402
 from test_e13_backends import run_multi_hub_churn  # noqa: E402
 from test_e14_cache import run_cache_workload, run_capped_workload  # noqa: E402
 from test_e15_scale import run_smoke_profile  # noqa: E402
+from test_e16_interval import COMPACT_DIMS, run_deep_lineage  # noqa: E402
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -164,6 +168,35 @@ def collect_metrics() -> dict:
         raise SystemExit(
             "E15 invariant violated: thread-backend smoke metrics diverge "
             "from the serial reference"
+        )
+
+    # E16 — interval-indexed queries vs reference traversal on the compact
+    # AS hierarchy.  Message counts are deterministic and gated; the ratio
+    # is gated in the healthier-is-higher direction.  Two hard invariants:
+    # the interval path must return bit-identical answers, and a batched
+    # interval wave must never cost more messages than the traversal.
+    start = time.perf_counter()
+    deep = run_deep_lineage(dims=COMPACT_DIMS)
+    deep_seconds = time.perf_counter() - start
+    metrics["e16.traversal_messages"] = _metric(deep["traversal_messages"])
+    metrics["e16.interval_messages"] = _metric(deep["interval_messages"])
+    metrics["e16.messages_ratio"] = _metric(
+        round(deep["ratio"], 2), higher_is_better=True
+    )
+    metrics["e16.range_scans"] = _metric(
+        deep["interval_totals"]["range_scans"], gate=False
+    )
+    metrics["e16.seconds"] = _metric(round(deep_seconds, 3), gate=False)
+    if not deep["identical"]:
+        raise SystemExit(
+            "E16 invariant violated: interval answers diverge from the "
+            "reference traversal"
+        )
+    if deep["interval_messages"] > deep["traversal_messages"]:
+        raise SystemExit(
+            "E16 invariant violated: interval wave costs more messages than "
+            f"the traversal ({deep['interval_messages']} vs "
+            f"{deep['traversal_messages']})"
         )
     return metrics
 

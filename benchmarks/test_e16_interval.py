@@ -1,0 +1,149 @@
+"""E16 — interval-indexed provenance queries vs reference traversal.
+
+The distributed traversal engine answers a lineage query by recursively
+shipping one request per remote child, so a deep derivation over a large
+AS hierarchy costs messages proportional to the number of remote rule
+firings it touches.  The interval index (``repro.core.interval_index``)
+collapses each partition's share of that walk into a handful of label-table
+range scans: a query wave ships *one* request per partition per round,
+carrying every target interval the wave needs from that partition, and the
+partition answers with the local closure plus its remote frontier.
+
+This experiment pins the headline claim: on deep ``minCost`` lineage over
+the 1010-node ``isp_hierarchy`` scale topology (the same graph E15
+saturates), a batched interval query wave needs **at least 10x fewer
+messages** than the per-query reference traversal — while returning
+bit-identical lineage and participant sets, which the differential-oracle
+property suite (``tests/property/test_property_interval.py``) re-proves
+under churn.
+
+A compact variant of the same measurement feeds the CI perf gate
+(``emit_bench_json.py``), which additionally enforces the invariant that
+interval messages never exceed traversal messages.
+"""
+
+from repro.core.optimizations import QueryOptions
+from repro.core.queries import QUERY_LINEAGE, QUERY_PARTICIPANTS
+from repro.core.query import DistributedQueryEngine
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.protocols import mincost
+
+#: The scale topology: same 1010-node AS hierarchy as the E15 profile.
+SCALE_DIMS = (10, 10, 9)
+#: Compact topology (39 nodes) for the CI perf gate's fast trajectory run.
+COMPACT_DIMS = (3, 3, 3)
+TOPOLOGY_SEED = 11
+
+#: Path-cost bound for the minCost program: costs up to 3 hops reach from a
+#: stub AS through its tier-2 and tier-1 providers — the deepest lineage the
+#: hierarchy offers — while keeping the 1010-node fixpoint tractable.
+MAX_COST = 4.0
+
+#: How many deep-lineage roots one query wave carries.
+N_ROOTS = 24
+
+
+def run_deep_lineage(
+    dims=SCALE_DIMS,
+    seed=TOPOLOGY_SEED,
+    max_cost=MAX_COST,
+    n_roots=N_ROOTS,
+):
+    """Measure traversal-vs-interval message costs on one seeded fixpoint.
+
+    Picks the ``n_roots`` highest-cost ``minCost`` rows homed at stub ASes
+    (the deepest derivations), answers lineage + participants for each via
+    the reference traversal engine (summing per-query message costs), then
+    re-answers the same roots through the interval engine's batched wave
+    protocol and diffs the answers.  Returns a flat metrics dict.
+
+    The two engines are constructed strictly in sequence — never
+    interleaved — because a runtime's per-node query handlers are rebound
+    by whichever engine was constructed last.
+    """
+    net = topology.isp_hierarchy(*dims, seed=seed)
+    runtime = NetTrailsRuntime(mincost.program(max_cost=max_cost), net)
+    try:
+        runtime.seed_links(run=True)
+        rows = runtime.state("minCost")
+        stub_rows = sorted(
+            (row for row in rows if str(row[0]).startswith("stub_")),
+            key=lambda row: (-row[2], repr(row)),
+        )
+        roots = [list(row) for row in stub_rows[:n_roots]]
+        options = QueryOptions.baseline()
+
+        # Reference traversal first: per-query message costs, recorded answers.
+        traversal = DistributedQueryEngine(runtime, use_interval_index=False)
+        traversal_messages = 0
+        expected = {}
+        for mode in (QUERY_LINEAGE, QUERY_PARTICIPANTS):
+            for index, root in enumerate(roots):
+                result = traversal.query("minCost", root, mode=mode, options=options)
+                traversal_messages += result.stats.messages
+                expected[(mode, index)] = result.value
+
+        # Interval second (constructing the engine rebinds the handlers):
+        # one batched wave per mode over the same roots.
+        interval = DistributedQueryEngine(runtime, use_interval_index=True)
+        before = runtime.message_stats().messages
+        identical = True
+        for mode in (QUERY_LINEAGE, QUERY_PARTICIPANTS):
+            results = interval.query_batch("minCost", roots, mode=mode, options=options)
+            for index, result in enumerate(results):
+                if result.value != expected[(mode, index)]:
+                    identical = False
+        interval_messages = runtime.message_stats().messages - before
+
+        return {
+            "nodes": net.node_count(),
+            "roots": len(roots),
+            "queries": 2 * len(roots),
+            "traversal_messages": traversal_messages,
+            "interval_messages": interval_messages,
+            "ratio": traversal_messages / max(1, interval_messages),
+            "identical": identical,
+            "interval_totals": dict(interval.interval_totals()),
+        }
+    finally:
+        runtime.close()
+
+
+def test_interval_wave_beats_traversal_10x_at_scale(benchmark, record):
+    """The acceptance claim: >=10x fewer messages on deep lineage at 1010 nodes."""
+    outcome = benchmark.pedantic(run_deep_lineage, rounds=1, iterations=1)
+    assert outcome["nodes"] >= 1000, outcome["nodes"]
+    assert outcome["identical"], "interval answers diverged from traversal"
+    assert outcome["ratio"] >= 10.0, (
+        f"interval wave no longer saves >=10x messages: "
+        f"{outcome['traversal_messages']} traversal vs "
+        f"{outcome['interval_messages']} interval "
+        f"({outcome['ratio']:.1f}x)"
+    )
+    totals = outcome["interval_totals"]
+    assert totals["builds"] > 0, "interval path never built an index"
+    assert totals["range_scans"] > 0, "interval path never scanned a label table"
+    record(
+        "E16 interval-indexed queries (minCost, 1010-node ISP hierarchy)",
+        f"{outcome['queries']} deep-lineage queries over {outcome['roots']} roots",
+        traversal_messages=outcome["traversal_messages"],
+        interval_messages=outcome["interval_messages"],
+        ratio=round(outcome["ratio"], 1),
+        range_scans=totals["range_scans"],
+    )
+
+
+def test_compact_interval_run_feeds_the_perf_gate(record):
+    """The compact emit_bench_json variant: identical answers, never more messages."""
+    outcome = run_deep_lineage(dims=COMPACT_DIMS)
+    assert outcome["identical"], "interval answers diverged from traversal"
+    assert outcome["interval_messages"] <= outcome["traversal_messages"], outcome
+    assert outcome["interval_messages"] > 0, "compact run never left the coordinator"
+    record(
+        "E16 interval-indexed queries (compact CI profile)",
+        f"{outcome['queries']} queries, {outcome['nodes']} nodes",
+        traversal_messages=outcome["traversal_messages"],
+        interval_messages=outcome["interval_messages"],
+        ratio=round(outcome["ratio"], 1),
+    )

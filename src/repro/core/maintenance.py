@@ -49,6 +49,7 @@ from repro.engine.messages import ProvenanceTag
 from repro.engine.store import BASE_DERIVATION
 from repro.engine.tuples import Fact
 from repro.core.graph import ProvenanceGraph, RuleExecVertex, TupleVertex
+from repro.core.interval_index import PartitionIntervalIndex
 from repro.core.keys import BASE_RID, rid_for, vid_for
 
 
@@ -110,6 +111,11 @@ class NodeProvenanceStore:
         # Guards _rule_execs/_uses against the engine's cross-partition
         # reachability walk; standalone stores get a private lock.
         self._exec_lock = engine._graph_lock if engine is not None else threading.Lock()
+        #: Lazily-created interval index over this partition's provenance DAG
+        #: (see :mod:`repro.core.interval_index`).  ``None`` until a query
+        #: first asks for it, so runs that never use the interval path pay
+        #: nothing beyond a no-op attribute check per mutation.
+        self._interval_index: Optional[PartitionIntervalIndex] = None
 
     # -- mutation -----------------------------------------------------------------
 
@@ -177,9 +183,17 @@ class NodeProvenanceStore:
         self._tuple_info[vid] = (fact.relation, fact.values)
         return vid
 
+    def interval_index(self) -> PartitionIntervalIndex:
+        """This partition's interval index, created (cold) on first use."""
+        if self._interval_index is None:
+            self._interval_index = PartitionIntervalIndex(self)
+        return self._interval_index
+
     def add_prov(self, vid: str, rid: str, rloc: object) -> ProvEntry:
         entry = ProvEntry(vid=vid, rid=rid, rloc=rloc)
         self._prov.setdefault(vid, set()).add(entry)
+        if self._interval_index is not None:
+            self._interval_index.note_prov_added(vid, rid, rloc)
         self._mark_dirty(self.node_id, vid)
         self._bump()
         return entry
@@ -188,6 +202,8 @@ class NodeProvenanceStore:
         entries = self._prov.get(entry.vid)
         if entries is None:
             return
+        if self._interval_index is not None and entry in entries:
+            self._interval_index.note_prov_removed(entry.vid, entry.rid, entry.rloc)
         entries.discard(entry)
         if not entries:
             del self._prov[entry.vid]
@@ -199,6 +215,8 @@ class NodeProvenanceStore:
             self._rule_execs[entry.rid] = entry
             for child in entry.child_vids:
                 self._uses.setdefault(child, set()).add(entry.rid)
+        if self._interval_index is not None:
+            self._interval_index.note_exec_added(entry.rid, entry.child_vids)
         self._mark_dirty(entry.head_location, entry.head_vid)
         self._bump()
 
@@ -213,6 +231,8 @@ class NodeProvenanceStore:
                     uses.discard(rid)
                     if not uses:
                         del self._uses[child]
+        if self._interval_index is not None:
+            self._interval_index.note_exec_removed(rid, entry.child_vids)
         self._mark_dirty(entry.head_location, entry.head_vid)
         self._bump()
 
@@ -301,13 +321,29 @@ class ProvenanceEngine:
         self._graph_lock = threading.Lock()
         #: vid -> reachability version; bumped (under _graph_lock) whenever
         #: the vertex's downstream provenance subgraph changes.  Missing
-        #: entries read as 0.  Entries are never removed — like the
-        #: per-store ``_tuple_info`` descriptors, the map grows with the
-        #: historical tuple universe: a retracted vid's counter must survive
-        #: so that a re-derivation can never climb back to a version some
-        #: remote cache still holds an entry for.  (Sound pruning needs
-        #: rebirth-epoch stamping — see the ROADMAP follow-up.)
+        #: entries read as 0.  Entries for *dead* vids (no live consumer and
+        #: no live rule execution heading them) are pruned by a capped sweep
+        #: once the map exceeds ``_vid_version_sweep_threshold``; soundness
+        #: is preserved by **rebirth-epoch stamping**: the sweep folds every
+        #: pruned counter into ``_rebirth_epoch``, and any later bump of any
+        #: vid starts from at least that epoch — so a re-derivation of a
+        #: pruned vid can never climb back to a version some cache still
+        #: holds an entry for.  (A pruned-but-unchanged vid reads version 0,
+        #: which at worst costs one conservative cache miss.)
         self._vid_versions: Dict[str, int] = {}
+        #: Floor folded in from pruned counters (see above); bumps resume
+        #: from max(current, epoch) + 1 so pruned versions are never reused.
+        self._rebirth_epoch = 0
+        #: Sweep trigger: map size above which _bump_reachability prunes dead
+        #: vids.  Instance attribute so long-churn tests can lower it.
+        self._vid_version_sweep_threshold = 65536
+        #: Raised to 2x the post-sweep size after each sweep so a
+        #: large-but-fully-live map costs amortized O(1) per flush instead
+        #: of one full liveness scan each; the trigger is the max of this
+        #: and the threshold, so lowering the threshold (tests) still works.
+        self._vid_version_next_sweep = 0
+        self._vid_version_sweeps = 0
+        self._vid_versions_pruned = 0
         #: Memoized sum of all per-partition versions, so query-cache hot
         #: paths that still consult the global fallback stay O(1) instead of
         #: re-scanning every node's partition.
@@ -474,7 +510,9 @@ class ProvenanceEngine:
                 if vid in seen:
                     continue
                 seen.add(vid)
-                self._vid_versions[vid] = self._vid_versions.get(vid, 0) + 1
+                self._vid_versions[vid] = (
+                    max(self._vid_versions.get(vid, 0), self._rebirth_epoch) + 1
+                )
                 store = self._stores.get(home)
                 if store is None:
                     continue
@@ -482,6 +520,33 @@ class ProvenanceEngine:
                     entry = store._rule_execs.get(rid)
                     if entry is not None:
                         stack.append((entry.head_location, entry.head_vid))
+            if len(self._vid_versions) > max(
+                self._vid_version_sweep_threshold, self._vid_version_next_sweep
+            ):
+                self._sweep_vid_versions()
+
+    def _sweep_vid_versions(self) -> None:
+        """Prune version counters of dead vids, folding them into the epoch.
+
+        Caller holds ``_graph_lock``.  Liveness is judged only from state
+        that same lock guards (the per-store ``_uses`` keys and live rule
+        executions' head vids) — deliberately *not* from the unlocked
+        ``_prov`` / ``_tuple_info`` maps, which concurrent node events may
+        be mutating.  That makes the live set an under-approximation (a
+        base tuple nothing consumes yet counts as dead), which is sound:
+        pruning such a vid merely downgrades cache validation to a miss.
+        """
+        live: Set[str] = set()
+        for store in self._stores.values():
+            live.update(store._uses)
+            for entry in store._rule_execs.values():
+                live.add(entry.head_vid)
+        dead = [vid for vid in self._vid_versions if vid not in live]
+        for vid in dead:
+            self._rebirth_epoch = max(self._rebirth_epoch, self._vid_versions.pop(vid))
+        self._vid_version_sweeps += 1
+        self._vid_versions_pruned += len(dead)
+        self._vid_version_next_sweep = 2 * len(self._vid_versions)
 
     def vid_version(self, vid: str) -> int:
         """The reachability version of one tuple vertex (0 if never touched).
@@ -497,6 +562,35 @@ class ProvenanceEngine:
         """A snapshot of every non-zero per-VID reachability version."""
         with self._graph_lock:
             return dict(self._vid_versions)
+
+    def vid_version_stats(self) -> Dict[str, int]:
+        """Size/pruning statistics of the per-VID version map."""
+        with self._graph_lock:
+            return {
+                "entries": len(self._vid_versions),
+                "epoch": self._rebirth_epoch,
+                "sweeps": self._vid_version_sweeps,
+                "pruned": self._vid_versions_pruned,
+            }
+
+    # -- interval-index statistics --------------------------------------------------------
+
+    def interval_stats(self) -> Dict[object, Dict[str, int]]:
+        """Per-partition interval-index counters (partitions that have one)."""
+        stats = {}
+        for node_id, store in sorted(self._stores.items(), key=lambda item: repr(item[0])):
+            index = store._interval_index
+            if index is not None:
+                stats[node_id] = index.counters()
+        return stats
+
+    def interval_totals(self) -> Dict[str, int]:
+        """Interval-index counters summed across all partitions."""
+        totals: Dict[str, int] = {}
+        for counters in self.interval_stats().values():
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def global_version(self) -> int:
         """The sum of all per-partition versions, memoized to O(1).

@@ -34,6 +34,36 @@ from repro.engine.tuples import Fact
 CACHE_CAPACITY_ENV_VAR = "NETTRAILS_QUERY_CACHE_CAPACITY"
 
 
+#: Environment variable consulted when ``use_interval_index`` is not set
+#: explicitly: a boolean (``1/true/yes/on`` vs ``0/false/no/off``) that makes
+#: eligible provenance queries use the per-partition interval index instead
+#: of the per-edge traversal.  The CI property matrix exports it so the whole
+#: equivalence suite runs with the interval path on.
+INTERVAL_INDEX_ENV_VAR = "NETTRAILS_INTERVAL_INDEX"
+
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def default_use_interval_index() -> bool:
+    """The interval-index default: the env hook, else ``False``.
+
+    A value that is neither a true-word nor a false-word raises
+    :class:`~repro.errors.EngineError` rather than being silently ignored.
+    """
+    raw = os.environ.get(INTERVAL_INDEX_ENV_VAR, "").strip().lower()
+    if not raw:
+        return False
+    if raw in _TRUE_WORDS:
+        return True
+    if raw in _FALSE_WORDS:
+        return False
+    raise EngineError(
+        f"{INTERVAL_INDEX_ENV_VAR}={raw!r} is not a boolean; use one of "
+        f"{_TRUE_WORDS + _FALSE_WORDS}"
+    )
+
+
 def default_query_cache_capacity() -> Optional[int]:
     """The capacity used when none is requested: the env hook, else ``None``.
 
@@ -105,6 +135,7 @@ class NetTrailsRuntime:
         backend_workers: Optional[int] = None,
         batch_commit_stall_s: float = 0.0,
         query_cache_capacity: Optional[int] = None,
+        use_interval_index: Optional[bool] = None,
     ):
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
@@ -162,6 +193,17 @@ class NetTrailsRuntime:
                 f"query_cache_capacity must be >= 0 or None, got {query_cache_capacity}"
             )
         self.query_cache_capacity = query_cache_capacity
+        #: Whether :class:`repro.core.query.DistributedQueryEngine` answers
+        #: eligible queries (cache-off lineage/participants with no
+        #: threshold/depth bound) through the per-partition interval index
+        #: (:mod:`repro.core.interval_index`) instead of the per-edge
+        #: traversal.  ``None`` consults ``NETTRAILS_INTERVAL_INDEX`` (parity
+        #: with ``NETTRAILS_BACKEND``); the traversal path always remains
+        #: available per-engine via
+        #: ``DistributedQueryEngine(use_interval_index=False)``.
+        if use_interval_index is None:
+            use_interval_index = default_use_interval_index()
+        self.use_interval_index = bool(use_interval_index)
         self.nodes: Dict[object, Node] = {}
         for name in topology.nodes:
             self.nodes[name] = Node(

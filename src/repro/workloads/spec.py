@@ -149,6 +149,9 @@ class RuntimeKnobs:
     shard_workers: int = 0
     batch_deltas: bool = True
     query_cache_capacity: Optional[int] = None
+    #: ``None`` defers to ``NETTRAILS_INTERVAL_INDEX`` (the CI matrix hook);
+    #: an explicit bool pins the interval-index query path on or off.
+    use_interval_index: Optional[bool] = None
 
     def runtime_kwargs(self) -> Dict[str, object]:
         return {
@@ -158,6 +161,7 @@ class RuntimeKnobs:
             "shard_workers": self.shard_workers,
             "batch_deltas": self.batch_deltas,
             "query_cache_capacity": self.query_cache_capacity,
+            "use_interval_index": self.use_interval_index,
         }
 
 

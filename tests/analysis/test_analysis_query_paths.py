@@ -1,0 +1,140 @@
+"""Analysis tasks cross-checked through both distributed query paths.
+
+``root_causes`` and ``cascading_effects`` are offline, whole-graph
+computations; the distributed query engine answers the same questions
+online — via the reference traversal or via the interval-indexed path.
+These tests pin the three-way agreement: for the same tuples, the offline
+analysis, the traversal engine and the interval engine must name exactly
+the same base tuples and exhibit consistent forward/backward views.
+
+The two engines are constructed strictly in sequence (a runtime's per-node
+query handlers belong to whichever engine was constructed last), mirroring
+the differential property harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import cascading_effects, impact_of_link_failure, root_causes
+from repro.core.optimizations import QueryOptions
+from repro.core.query import DistributedQueryEngine
+
+BASELINE = QueryOptions(use_cache=False)
+
+#: Deep-ish minCost tuples of the ring5 fixture (two-hop derivations).
+TARGETS = (
+    ["n0", "n2", 2.0],
+    ["n0", "n3", 2.0],
+    ["n1", "n4", 2.0],
+)
+
+
+@pytest.fixture
+def graph(mincost_ring):
+    return mincost_ring.provenance.build_graph()
+
+
+def base_tuple_set(vertices):
+    return {(vertex.relation,) + tuple(vertex.values) for vertex in vertices}
+
+
+def lineage_tuple_set(result):
+    return {(ref.relation,) + tuple(ref.values) for ref in result.value}
+
+
+def query_path_lineages(runtime, targets):
+    """Lineage answers per target from the traversal and interval engines."""
+    traversal = DistributedQueryEngine(runtime, use_interval_index=False)
+    by_traversal = [
+        lineage_tuple_set(traversal.lineage("minCost", values, options=BASELINE))
+        for values in targets
+    ]
+    interval = DistributedQueryEngine(runtime, use_interval_index=True)
+    by_interval = [
+        lineage_tuple_set(interval.lineage("minCost", values, options=BASELINE))
+        for values in targets
+    ]
+    return by_traversal, by_interval
+
+
+class TestRootCauseThroughQueryPaths:
+    def test_offline_root_causes_match_both_engines(self, mincost_ring, graph):
+        offline = [
+            base_tuple_set(root_causes(graph, "minCost", values)) for values in TARGETS
+        ]
+        by_traversal, by_interval = query_path_lineages(mincost_ring, TARGETS)
+        for values, expected, traversed, indexed in zip(
+            TARGETS, offline, by_traversal, by_interval
+        ):
+            assert traversed == expected, values
+            assert indexed == expected, values
+
+    def test_remote_coordinator_interval_wave_matches_offline(self, mincost_ring, graph):
+        """Issuing the interval query from a node that is not the tuple's
+        home still reproduces the offline root causes (the wave has to ship
+        the root's home partition an interval request first)."""
+        values = TARGETS[0]
+        offline = base_tuple_set(root_causes(graph, "minCost", values))
+        interval = DistributedQueryEngine(mincost_ring, use_interval_index=True)
+        answer = interval.lineage("minCost", values, options=BASELINE, at="n3")
+        assert lineage_tuple_set(answer) == offline
+        assert answer.stats.messages > 0, "a remote coordinator must pay messages"
+
+
+class TestCascadeThroughQueryPaths:
+    def test_forward_cascade_is_backward_lineage_inverted(self, mincost_ring, graph):
+        """Every minCost tuple the link (transitively) supports must list the
+        link among its base lineage — on both query paths."""
+        link = ("link", "n0", "n1", 1.0)
+        affected = [
+            list(vertex.values)
+            for vertex in cascading_effects(graph, "link", list(link[1:]))
+            if vertex.relation == "minCost"
+        ]
+        assert affected, "the link must support at least one minCost tuple"
+        by_traversal, by_interval = query_path_lineages(mincost_ring, affected)
+        for values, traversed, indexed in zip(affected, by_traversal, by_interval):
+            assert link in traversed, values
+            assert link in indexed, values
+        # And a tuple outside the forward cascade must not list the link.
+        outside = [
+            list(row)
+            for row in sorted(mincost_ring.state("minCost"), key=repr)
+            if list(row) not in affected
+        ][:2]
+        if outside:
+            out_traversal, out_interval = query_path_lineages(mincost_ring, outside)
+            for values, traversed, indexed in zip(outside, out_traversal, out_interval):
+                assert link not in traversed, values
+                assert link not in indexed, values
+
+    def test_actual_link_failure_stays_within_the_predicted_cascade(
+        self, mincost_ring, graph
+    ):
+        """impact_of_link_failure removals are a subset of the potential
+        cascade the provenance graph predicts, and the interval path keeps
+        answering correctly across the failure/restore churn."""
+        # Links are symmetric: failing n0 <-> n1 retracts both directed base
+        # tuples, so the predicted cascade is the union over both directions.
+        predicted = {
+            (vertex.relation,) + tuple(vertex.values)
+            for values in (["n0", "n1", 1.0], ["n1", "n0", 1.0])
+            for vertex in cascading_effects(graph, "link", values)
+        }
+        impact = impact_of_link_failure(mincost_ring, "n0", "n1")
+        assert impact.restored
+        removed = {
+            (relation,) + tuple(row)
+            for relation, rows in impact.removed_tuples.items()
+            for row in rows
+        }
+        assert removed, "failing a ring link must remove derived state"
+        assert removed <= predicted, removed - predicted
+
+        # Post-restore, both query paths still agree on the original targets
+        # (the churn exercised the index's incremental maintenance).
+        by_traversal, by_interval = query_path_lineages(mincost_ring, TARGETS)
+        assert by_interval == by_traversal
+        totals = mincost_ring.provenance.interval_totals()
+        assert totals.get("range_scans", 0) > 0

@@ -1,0 +1,104 @@
+"""Regression tests for the epoch-stamped pruning of the per-VID version map.
+
+Before the sweep existed, ``ProvenanceEngine._vid_versions`` grew without
+bound: every vid that ever had a reachability bump kept its counter forever,
+including vids of long-retracted tuples.  The sweep drops counters for dead
+vids (no live uses, no live rule execution deriving them) once the map
+outgrows a threshold, folding the dropped values into ``_rebirth_epoch`` so
+a later *rebirth* of the same vid restarts above every version ever handed
+out — a pruned-then-reborn vid can never revalidate a stale cache entry.
+
+These tests force a tiny threshold so the sweep runs constantly under link
+flaps, and assert both the bookkeeping (entries bounded, sweeps counted,
+epoch advanced) and the soundness contract (cached answers stay bit-identical
+to uncached traversals through prune/rebirth cycles).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+from repro.core.optimizations import QueryOptions
+from repro.core.query import DistributedQueryEngine
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.protocols import mincost
+
+CACHED = QueryOptions(use_cache=True)
+UNCACHED = QueryOptions(use_cache=False)
+
+
+def build_runtime(net, threshold=8):
+    runtime = NetTrailsRuntime(mincost.program(), copy.deepcopy(net))
+    runtime.provenance._vid_version_sweep_threshold = threshold
+    runtime.seed_links(run=True)
+    return runtime
+
+
+def flap(runtime, source, target, cost=1.0):
+    runtime.remove_link(source, target)
+    runtime.run_to_quiescence()
+    runtime.add_link(source, target, cost)
+    runtime.run_to_quiescence()
+
+
+class TestVidVersionPruning:
+    def test_sweep_bounds_the_version_map_under_churn(self):
+        net = topology.ring(5)
+        runtime = build_runtime(net, threshold=8)
+        rng = random.Random(7)
+        edges = sorted((a, b, cost) for (a, b), cost in net.edges.items())
+        for _ in range(12):
+            source, target, cost = edges[rng.randrange(len(edges))]
+            flap(runtime, source, target, cost)
+
+        stats = runtime.provenance.vid_version_stats()
+        assert stats["sweeps"] >= 1, stats
+        assert stats["pruned"] > 0, stats
+        assert stats["epoch"] > 0, stats
+        # Liveness bound: whatever survives the last sweep is at most the
+        # live vertex population (vids used by or derived by live execs),
+        # plus post-sweep churn capped by the geometric retrigger policy.
+        live = sum(
+            len(store._uses) + len(store._rule_execs)
+            for store in runtime.provenance._stores.values()
+        )
+        assert stats["entries"] <= 2 * live + 16, (stats, live)
+
+    def test_rebirth_after_prune_cannot_revalidate_stale_cache(self):
+        """A cached answer taken before a prune/rebirth cycle must never be
+        served for the reborn tuple: cached == uncached at every step."""
+        net = topology.ring(5)
+        runtime = build_runtime(net, threshold=8)
+        engine = DistributedQueryEngine(runtime)
+        target = ["n0", "n2", 2.0]
+
+        def answers():
+            cached = engine.lineage("minCost", target, options=CACHED)
+            uncached = engine.lineage("minCost", target, options=UNCACHED)
+            assert cached.value == uncached.value
+            assert cached.truncated == uncached.truncated
+            return sorted(str(ref) for ref in uncached.value)
+
+        before = answers()
+        rng = random.Random(3)
+        edges = sorted((a, b, cost) for (a, b), cost in net.edges.items())
+        for _ in range(10):
+            source, target_node, cost = edges[rng.randrange(len(edges))]
+            flap(runtime, source, target_node, cost)
+            answers()
+
+        stats = runtime.provenance.vid_version_stats()
+        assert stats["sweeps"] >= 1, "the schedule never exercised the sweep"
+        assert stats["pruned"] > 0, stats
+        # The topology is back to the original ring, so the original answer
+        # must be reproduced — through the cache — after every flap cycle.
+        assert answers() == before
+
+    def test_sweep_never_runs_below_threshold(self):
+        runtime = build_runtime(topology.line(3), threshold=65536)
+        flap(runtime, "n0", "n1")
+        stats = runtime.provenance.vid_version_stats()
+        assert stats["sweeps"] == 0, stats
+        assert stats["pruned"] == 0, stats
