@@ -13,7 +13,11 @@ Runs compact, deterministic versions of the headline experiments —
   ``scale`` profile stays in the opt-in ``workflow_dispatch`` CI run),
 * **E16** interval-indexed provenance queries (batched interval waves vs
   the per-query reference traversal on the compact AS hierarchy; the
-  10x-at-1010-nodes claim stays in ``test_e16_interval.py``) —
+  10x-at-1010-nodes claim stays in ``test_e16_interval.py``),
+* **E17** durability (WAL overhead vs a plain runtime, genesis and
+  checkpoint recovery of a crashed history, concurrent-client serving
+  latency percentiles; the every-kill-point oracle stays in
+  ``tests/property/test_property_recovery.py``) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -42,7 +46,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -53,6 +59,11 @@ from test_e13_backends import run_multi_hub_churn  # noqa: E402
 from test_e14_cache import run_cache_workload, run_capped_workload  # noqa: E402
 from test_e15_scale import run_smoke_profile  # noqa: E402
 from test_e16_interval import COMPACT_DIMS, run_deep_lineage  # noqa: E402
+from test_e17_durability import (  # noqa: E402
+    run_concurrent_serving,
+    run_recovery_benchmark,
+    run_wal_overhead,
+)
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -197,6 +208,64 @@ def collect_metrics() -> dict:
             "E16 invariant violated: interval wave costs more messages than "
             f"the traversal ({deep['interval_messages']} vs "
             f"{deep['traversal_messages']})"
+        )
+
+    # E17 — durability.  WAL shape and replay counts are deterministic and
+    # gated; every wall-clock figure (overhead ratio, recovery seconds,
+    # latency percentiles) is recorded ungated.  Three hard invariants: the
+    # journal is invisible on the wire, the no-fsync message-path overhead
+    # stays under 2.5x, and both recovery modes reproduce the uncrashed
+    # state bit-identically.
+    scratch = tempfile.mkdtemp(prefix="nettrails-e17-")
+    try:
+        overhead = run_wal_overhead(durable_dir=os.path.join(scratch, "overhead"))
+        recovery = run_recovery_benchmark(os.path.join(scratch, "recovery"))
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    serving = run_concurrent_serving()
+    metrics["e17.wal.records"] = _metric(overhead["wal_records"])
+    metrics["e17.wal.ops"] = _metric(overhead["wal_ops"])
+    metrics["e17.wal.bytes"] = _metric(overhead["wal_bytes"])
+    metrics["e17.overhead_ratio"] = _metric(
+        round(overhead["overhead_ratio"], 2), gate=False
+    )
+    metrics["e17.plain.seconds"] = _metric(
+        round(overhead["plain"]["seconds"], 3), gate=False
+    )
+    metrics["e17.durable.seconds"] = _metric(
+        round(overhead["durable"]["seconds"], 3), gate=False
+    )
+    metrics["e17.recovery.genesis_batches"] = _metric(recovery["batches"]["genesis"])
+    metrics["e17.recovery.checkpoint_batches"] = _metric(
+        recovery["batches"]["checkpoint"]
+    )
+    metrics["e17.recovery.genesis.seconds"] = _metric(
+        round(recovery["metrics"]["genesis_seconds"], 3), gate=False
+    )
+    metrics["e17.recovery.checkpoint.seconds"] = _metric(
+        round(recovery["metrics"]["checkpoint_seconds"], 3), gate=False
+    )
+    metrics["e17.clients.queries"] = _metric(serving["report"].issued)
+    metrics["e17.clients.commits"] = _metric(serving["report"].commits)
+    for percentile in ("p50", "p95", "p99"):
+        metrics[f"e17.clients.query_{percentile}"] = _metric(
+            serving["latency"][f"query_{percentile}"], gate=False
+        )
+    if overhead["durable"]["messages"] != overhead["plain"]["messages"]:
+        raise SystemExit(
+            "E17 invariant violated: journalling changed the wire traffic "
+            f"({overhead['durable']['messages']} durable vs "
+            f"{overhead['plain']['messages']} plain messages)"
+        )
+    if overhead["overhead_ratio"] >= 2.5:
+        raise SystemExit(
+            "E17 invariant violated: no-fsync durable overhead reached "
+            f"{overhead['overhead_ratio']:.2f}x (bound: 2.5x)"
+        )
+    if not recovery["identical"]:
+        raise SystemExit(
+            "E17 invariant violated: a recovered runtime diverged from the "
+            "uncrashed twin"
         )
     return metrics
 

@@ -1,0 +1,153 @@
+"""Checkpoint (compaction) helpers shared by the runtime and recovery.
+
+A checkpoint compacts the WAL prefix into the existing :mod:`repro.logstore`
+snapshot format: the full :class:`~repro.logstore.snapshot.Snapshot` is
+written through :class:`~repro.logstore.store.LogStore` to
+``<durable_dir>/snapshots/ckpt-NNNNNN.json``, and a ``checkpoint`` WAL
+record pins two digests plus an embedded *bootstrap* (current base facts,
+topology and link configuration).  Recovery in ``checkpoint`` mode rebuilds
+the runtime from the bootstrap instead of replaying the whole history —
+valid because the engine is confluent: protocol state and provenance tables
+are a pure function of the current base facts and topology.
+
+Two digests, two verification regimes:
+
+* ``state_digest`` covers relations + ``prov`` + ``ruleExec`` tables only —
+  the query-independent state.  It is what recovery verifies, because
+  read-only provenance queries legitimately advance traffic counters and
+  virtual time without being logged.
+* ``snapshot_digest`` covers the whole snapshot JSON (time, traffic and the
+  history-retaining ``tuples`` map included) and is recorded for the audit
+  trail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.engine.store import BASE_DERIVATION
+from repro.engine.topology import Topology
+from repro.logstore.snapshot import Snapshot
+from repro.logstore.store import LogStore
+
+#: Subdirectory of the durable dir holding compacted snapshots.
+SNAPSHOT_DIRNAME = "snapshots"
+
+
+def snapshot_digest(snapshot: Snapshot) -> str:
+    """sha256 over the full canonical snapshot JSON (audit-trail digest)."""
+    return hashlib.sha256(snapshot.to_json().encode("utf-8")).hexdigest()
+
+
+def state_digest(snapshot: Snapshot) -> str:
+    """sha256 over the query-independent state a recovery must reproduce.
+
+    Covers per-node relation contents and the ``prov`` / ``ruleExec``
+    provenance tables; excludes virtual time, traffic counters and the
+    never-pruned ``tuples`` map (all three are history-dependent in ways a
+    checkpoint-bootstrapped twin legitimately differs in).
+    """
+    doc: Dict[str, object] = {}
+    for node_id, node in sorted(snapshot.nodes.items()):
+        doc[node_id] = {
+            "relations": {
+                relation: sorted((list(row) for row in rows), key=repr)
+                for relation, rows in sorted(node.relations.items())
+            },
+            "prov": sorted((list(row) for row in node.prov), key=repr),
+            "rule_execs": sorted((list(row) for row in node.rule_execs), key=repr),
+        }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def base_facts(runtime) -> Dict[str, List[List[object]]]:
+    """Current base tuples per relation — the confluence bootstrap payload."""
+    rows: Dict[str, List[List[object]]] = {}
+    for node_id in runtime.node_ids():
+        store = runtime.nodes[node_id].store
+        for relation in store.relations():
+            for fact in store.facts(relation):
+                if BASE_DERIVATION in store.derivations(fact):
+                    rows.setdefault(relation, []).append(list(fact.values))
+    return {relation: sorted(rows[relation], key=repr) for relation in sorted(rows)}
+
+
+def topology_doc(topology: Topology) -> Dict[str, object]:
+    """A JSON-safe rendering of a topology (nodes, weighted edges, name)."""
+    return {
+        "name": topology.name,
+        "nodes": sorted(topology.nodes),
+        "edges": sorted([a, b, cost] for (a, b), cost in topology.edges.items()),
+    }
+
+
+def build_topology(doc: Dict[str, object]) -> Topology:
+    """Rebuild a topology from :func:`topology_doc` output."""
+    topology = Topology(name=str(doc.get("name", "recovered")))
+    for node in doc.get("nodes", []):
+        topology.add_node(node)
+    for a, b, cost in doc.get("edges", []):
+        topology.add_edge(a, b, cost)
+    return topology
+
+
+def snapshot_dir(durable_dir) -> Path:
+    return Path(durable_dir) / SNAPSHOT_DIRNAME
+
+
+def write_snapshot_file(durable_dir, batch: int, snapshot: Snapshot) -> Path:
+    """Persist *snapshot* in the logstore format; returns the file path."""
+    directory = snapshot_dir(durable_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"ckpt-{batch:06d}.json"
+    store = LogStore()
+    store.append(snapshot)
+    store.save(path)
+    return path
+
+
+def prune_snapshot_files(durable_dir, keep: int) -> List[Path]:
+    """Drop all but the newest *keep* checkpoint snapshot files.
+
+    Pruning never endangers recovery: every ``checkpoint`` WAL record embeds
+    its own bootstrap, so the snapshot files are an inspection convenience,
+    not the recovery source of truth.  Returns the removed paths.
+    """
+    directory = snapshot_dir(durable_dir)
+    if keep < 0 or not directory.is_dir():
+        return []
+    files = sorted(directory.glob("ckpt-*.json"))
+    removed = []
+    for path in files[: max(0, len(files) - keep)]:
+        path.unlink()
+        removed.append(path)
+    return removed
+
+
+def checkpoint_payload(
+    runtime, snapshot: Snapshot, batch: int, file: Optional[Path]
+) -> Dict[str, object]:
+    """The ``checkpoint`` WAL record's data for a quiescent *runtime*."""
+    link: Optional[Dict[str, object]] = None
+    if runtime._link_relation is not None:
+        link = {
+            "relation": runtime._link_relation,
+            "include_cost": runtime._link_include_cost,
+            "symmetric": runtime._link_symmetric,
+        }
+    return {
+        "batch": batch,
+        "label": snapshot.label,
+        "time": snapshot.time,
+        "file": file.name if file is not None else None,
+        "snapshot_digest": snapshot_digest(snapshot),
+        "state_digest": state_digest(snapshot),
+        "base": base_facts(runtime),
+        "topology": topology_doc(runtime.topology),
+        "link": link,
+    }

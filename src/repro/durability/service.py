@@ -1,0 +1,258 @@
+"""A long-lived, durable, query-serving wrapper around one runtime.
+
+:class:`ServiceRuntime` is the production shape the ROADMAP's "durable
+provenance service mode" calls for: one writer committing churn batches
+through the write-ahead log, many concurrent clients issuing provenance
+queries, periodic checkpoints compacting the log — and, after a crash,
+:meth:`ServiceRuntime.recover` bringing the service back over the same
+durable directory.
+
+Concurrency model: a single reentrant lock serialises commits, queries and
+checkpoints against the simulated runtime (the simulator is single-writer by
+design — the *engine's* concurrency lives in its execution backends).  The
+lock is exactly the arbitration a network server front-end would perform;
+client-observed latency percentiles therefore include queueing, which is
+what the E17 concurrent-client benchmark measures.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import DurabilityError, EngineError
+from repro.engine.runtime import NetTrailsRuntime
+from repro.engine.topology import Topology
+from repro.durability.recovery import RecoveryManager, RecoveryResult
+
+
+def _resolve_source(program: str) -> str:
+    """Accept NDlog source text or a registered protocol name."""
+    if "\n" in program or ":-" in program or "(" in program:
+        return program
+    from repro.protocols.library import PROTOCOLS
+
+    if program in PROTOCOLS:
+        return PROTOCOLS[program].SOURCE
+    raise EngineError(
+        f"{program!r} is neither NDlog source nor a registered protocol name "
+        f"(known protocols: {sorted(PROTOCOLS)})"
+    )
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """count / mean / max plus nearest-rank p50, p95 and p99 percentiles."""
+    if not samples:
+        return {"count": 0.0}
+    ordered = sorted(samples)
+    count = len(ordered)
+
+    def rank(p: float) -> float:
+        index = max(0, min(count - 1, math.ceil(p * count) - 1))
+        return ordered[index]
+
+    return {
+        "count": float(count),
+        "mean": sum(ordered) / count,
+        "max": ordered[-1],
+        "p50": rank(0.50),
+        "p95": rank(0.95),
+        "p99": rank(0.99),
+    }
+
+
+class ServiceRuntime:
+    """Serve queries and commit churn over one (optionally durable) runtime.
+
+    ``program`` is NDlog source text or a registered protocol name (durable
+    mode journals the source, so a parsed ``Program`` is deliberately not
+    accepted here).  ``checkpoint_every=N`` compacts the WAL after every Nth
+    committed batch; ``0`` disables automatic checkpoints.
+    """
+
+    def __init__(
+        self,
+        program: str,
+        topology: Topology,
+        durable_dir: Optional[Union[str, Path]] = None,
+        wal_fsync: bool = True,
+        checkpoint_every: int = 0,
+        **runtime_kwargs: object,
+    ):
+        if checkpoint_every < 0:
+            raise EngineError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.checkpoint_every = checkpoint_every
+        self._lock = threading.RLock()
+        self._engine = None
+        self._closed = False
+        self.commit_latencies: List[float] = []
+        self.query_latencies: List[float] = []
+        self.checkpoints_taken = 0
+        self.last_recovery: Optional[RecoveryResult] = None
+        self.runtime = NetTrailsRuntime(
+            _resolve_source(program),
+            topology,
+            durable_dir=durable_dir,
+            wal_fsync=wal_fsync,
+            **runtime_kwargs,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: Union[str, Path],
+        mode: str = "checkpoint",
+        wal_fsync: bool = True,
+        checkpoint_every: int = 0,
+        verify: bool = True,
+        **overrides: object,
+    ) -> "ServiceRuntime":
+        """Bring a crashed service back over its durable directory.
+
+        The recovery result (mode, batches replayed, truncated bytes,
+        seconds) is exposed as ``service.last_recovery``.
+        """
+        result = RecoveryManager(durable_dir).recover(
+            mode=mode, verify=verify, attach=True, wal_fsync=wal_fsync, **overrides
+        )
+        service = cls.__new__(cls)
+        service.checkpoint_every = checkpoint_every
+        service._lock = threading.RLock()
+        service._engine = None
+        service._closed = False
+        service.commit_latencies = []
+        service.query_latencies = []
+        service.checkpoints_taken = 0
+        service.last_recovery = result
+        service.runtime = result.runtime
+        return service
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.runtime.durable_dir is not None
+
+    @property
+    def committed_batches(self) -> int:
+        return self.runtime._committed_batches
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DurabilityError("this ServiceRuntime is closed (or crashed)")
+
+    def close(self) -> None:
+        """Clean shutdown: release workers and the WAL handle; idempotent."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self.runtime.close()
+
+    def crash(self) -> None:
+        """Crash injection: abandon the runtime *without* any final commit.
+
+        Pending (uncommitted) mutations are lost, exactly as in a process
+        kill; everything already appended to the WAL survives.  Worker
+        threads are still released so tests do not leak them.
+        """
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self.runtime._pending_ops = []
+                self.runtime.close()
+
+    def __enter__(self) -> "ServiceRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- write path -----------------------------------------------------------------
+
+    def seed_links(self, **kwargs: object) -> int:
+        with self._lock:
+            self._require_open()
+            kwargs.setdefault("run", True)
+            started = time.perf_counter()
+            seeded = self.runtime.seed_links(**kwargs)
+            self.commit_latencies.append(time.perf_counter() - started)
+            self._maybe_checkpoint()
+            return seeded
+
+    def commit(self, ops: Sequence[object]) -> Dict[str, object]:
+        """Apply one batch of :class:`~repro.workloads.churn.ChurnOp` mutations
+        and run the window to quiescence (one WAL ``batch`` record)."""
+        from repro.workloads.churn import apply_churn_op
+
+        with self._lock:
+            self._require_open()
+            started = time.perf_counter()
+            for op in ops:
+                apply_churn_op(self.runtime, op)
+            events = self.runtime.run_to_quiescence()
+            elapsed = time.perf_counter() - started
+            self.commit_latencies.append(elapsed)
+            self._maybe_checkpoint()
+            return {
+                "ops": len(ops),
+                "events": events,
+                "batch": self.committed_batches,
+                "seconds": elapsed,
+            }
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.durable
+            and self.checkpoint_every
+            and self.committed_batches > 0
+            and self.committed_batches % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
+
+    def checkpoint(self, label: str = "", keep: int = 3):
+        with self._lock:
+            self._require_open()
+            path = self.runtime.checkpoint(label=label, keep=keep)
+            self.checkpoints_taken += 1
+            return path
+
+    # -- read path ------------------------------------------------------------------
+
+    def _query_engine(self):
+        if self._engine is None:
+            from repro.core.query import DistributedQueryEngine
+
+            self._engine = DistributedQueryEngine(self.runtime)
+        return self._engine
+
+    def state(self, relation: str):
+        with self._lock:
+            self._require_open()
+            return self.runtime.state(relation)
+
+    def query(self, relation: str, values: Sequence[object], mode: str = "lineage", **kwargs):
+        """One provenance query, serialised against commits; records latency."""
+        with self._lock:
+            self._require_open()
+            started = time.perf_counter()
+            result = self._query_engine().query(relation, list(values), mode=mode, **kwargs)
+            self.query_latencies.append(time.perf_counter() - started)
+            return result
+
+    # -- metrics --------------------------------------------------------------------
+
+    def latency_metrics(self) -> Dict[str, float]:
+        """The ``MetricsReport.latency`` payload: query p50/p95/p99 + commit mean."""
+        metrics: Dict[str, float] = {}
+        for prefix, samples in (
+            ("query", self.query_latencies),
+            ("commit", self.commit_latencies),
+        ):
+            for key, value in latency_summary(samples).items():
+                metrics[f"{prefix}_{key}"] = round(value, 6)
+        return metrics

@@ -41,8 +41,54 @@ CACHE_CAPACITY_ENV_VAR = "NETTRAILS_QUERY_CACHE_CAPACITY"
 #: equivalence suite runs with the interval path on.
 INTERVAL_INDEX_ENV_VAR = "NETTRAILS_INTERVAL_INDEX"
 
+#: Environment variable consulted when ``durable_dir`` is not set explicitly
+#: (parity with the other ``NETTRAILS_*`` hooks): a directory path that turns
+#: on durable mode — every committed quiescence window is appended to a
+#: write-ahead log there (see :mod:`repro.durability`).  Unset or empty means
+#: non-durable; a path that exists but is not a writable directory raises
+#: :class:`~repro.errors.EngineError` rather than being silently ignored.
+DURABLE_DIR_ENV_VAR = "NETTRAILS_DURABLE_DIR"
+
 _TRUE_WORDS = ("1", "true", "yes", "on")
 _FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def default_durable_dir() -> Optional[str]:
+    """The durable directory used when none is requested: the env hook, else ``None``.
+
+    Only reads the environment; path validation happens in
+    :func:`validate_durable_dir` when a runtime actually goes durable, so a
+    malformed value fails loudly at construction time (the same contract as
+    the other hooks) rather than at first commit.
+    """
+    raw = os.environ.get(DURABLE_DIR_ENV_VAR, "").strip()
+    return raw or None
+
+
+def validate_durable_dir(path: Union[str, "os.PathLike[str]"]) -> str:
+    """Check (and create, if missing) a durable directory; returns its path.
+
+    Raises :class:`~repro.errors.EngineError` when the path names an
+    existing non-directory, cannot be created, or is not writable — the
+    rejection semantics shared by every ``NETTRAILS_*`` hook.
+    """
+    text = os.fspath(path)
+    if not text:
+        raise EngineError(f"{DURABLE_DIR_ENV_VAR} / durable_dir must not be empty")
+    if os.path.exists(text) and not os.path.isdir(text):
+        raise EngineError(
+            f"durable_dir {text!r} exists but is not a directory "
+            f"(check {DURABLE_DIR_ENV_VAR})"
+        )
+    try:
+        os.makedirs(text, exist_ok=True)
+    except OSError as exc:
+        raise EngineError(f"cannot create durable_dir {text!r}: {exc}") from exc
+    if not os.access(text, os.W_OK):
+        raise EngineError(
+            f"durable_dir {text!r} is not writable (check {DURABLE_DIR_ENV_VAR})"
+        )
+    return text
 
 
 def default_use_interval_index() -> bool:
@@ -136,7 +182,10 @@ class NetTrailsRuntime:
         batch_commit_stall_s: float = 0.0,
         query_cache_capacity: Optional[int] = None,
         use_interval_index: Optional[bool] = None,
+        durable_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        wal_fsync: bool = True,
     ):
+        self._program_source = program if isinstance(program, str) else None
         if isinstance(program, str):
             program = parse_program(program, name=program_name or "program")
         self.program = program
@@ -151,7 +200,10 @@ class NetTrailsRuntime:
         self.backend: ExecutionBackend = resolve_backend(backend, backend_workers)
         self.simulator = Simulator(backend=self.backend)
         self.network = Network(self.simulator, default_latency=default_latency)
+        self._default_latency = default_latency
         self._link_latency = link_latency
+        self._aggregate_retract_first = aggregate_retract_first
+        self._batch_commit_stall_s = batch_commit_stall_s
         self._link_relation: Optional[str] = None
         self._link_symmetric = True
         self._link_include_cost = True
@@ -220,6 +272,145 @@ class NetTrailsRuntime:
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
 
+        #: Durable mode (see :mod:`repro.durability`): with ``durable_dir=``
+        #: set — or the ``NETTRAILS_DURABLE_DIR`` hook — every mutator call
+        #: is buffered as a logical op and committed as one write-ahead-log
+        #: ``batch`` record when :meth:`run_to_quiescence` begins (append +
+        #: flush *before* the simulator drains, so a crash mid-window
+        #: replays the whole window).  ``wal_fsync`` is the fsync barrier
+        #: knob: ``True`` fsyncs every append, ``False`` only flushes.
+        self.wal_fsync = bool(wal_fsync)
+        self.durable_dir: Optional[str] = None
+        self._wal = None
+        self._pending_ops: List[List[object]] = []
+        self._oplog_suspended = 0
+        self._committed_batches = 0
+        if durable_dir is None:
+            durable_dir = default_durable_dir()
+        if durable_dir is not None:
+            self._open_durable(durable_dir)
+
+    # -- durability -----------------------------------------------------------------
+
+    def _open_durable(self, durable_dir: Union[str, "os.PathLike[str]"]) -> None:
+        from repro.durability import checkpoint as checkpoint_mod
+        from repro.durability import wal as wal_mod
+
+        if self._program_source is None:
+            raise EngineError(
+                "durable mode needs the NDlog source text to journal; construct "
+                "the runtime from source (e.g. protocol module SOURCE) rather "
+                "than a parsed Program"
+            )
+        path = validate_durable_dir(durable_dir)
+        wal_file = wal_mod.wal_path(path)
+        if wal_file.exists() and wal_file.stat().st_size > len(wal_mod.MAGIC):
+            raise EngineError(
+                f"durable_dir {path!r} already holds a WAL; a fresh runtime "
+                "would fork its history — recover it with "
+                "repro.durability.RecoveryManager instead"
+            )
+        self.durable_dir = path
+        self._wal = wal_mod.WriteAheadLog(path, fsync=self.wal_fsync)
+        self._wal.append(
+            wal_mod.RECORD_INIT,
+            {
+                "program_name": self.compiled.name,
+                "source": self._program_source,
+                "topology": checkpoint_mod.topology_doc(self.topology),
+                "knobs": self._durable_knobs(),
+            },
+        )
+
+    def _durable_knobs(self) -> Dict[str, object]:
+        """The construction knobs recovery must reproduce.
+
+        The execution backend is deliberately absent: the determinism
+        contract makes every backend produce bit-identical state, so a
+        recovering process picks its own (or the ``NETTRAILS_BACKEND`` hook).
+        """
+        return {
+            "default_latency": self._default_latency,
+            "link_latency": self._link_latency,
+            "aggregate_retract_first": self._aggregate_retract_first,
+            "batch_deltas": self.batch_deltas,
+            "num_shards": self.num_shards,
+            "shard_workers": self.shard_workers,
+            "batch_commit_stall_s": self._batch_commit_stall_s,
+            "query_cache_capacity": self.query_cache_capacity,
+            "use_interval_index": self.use_interval_index,
+        }
+
+    def _attach_wal(self, wal, durable_dir: str, committed_batches: int) -> None:
+        """Adopt an already-positioned WAL (recovery's tail-append hook)."""
+        self.durable_dir = durable_dir
+        self.wal_fsync = wal.fsync
+        self._wal = wal
+        self._committed_batches = committed_batches
+
+    def _log_op(self, op: List[object]) -> None:
+        if self._wal is not None and not self._oplog_suspended:
+            self._pending_ops.append(op)
+
+    class _SuspendOplog:
+        def __init__(self, runtime: "NetTrailsRuntime"):
+            self._runtime = runtime
+
+        def __enter__(self) -> None:
+            self._runtime._oplog_suspended += 1
+
+        def __exit__(self, exc_type, exc_value, traceback) -> None:
+            self._runtime._oplog_suspended -= 1
+
+    def _suspend_oplog(self) -> "NetTrailsRuntime._SuspendOplog":
+        """Composite mutators (``seed_links``, ``add_link``) journal one op
+        and suppress the journalling of their internal primitive calls."""
+        return NetTrailsRuntime._SuspendOplog(self)
+
+    def _commit_pending(self) -> None:
+        if self._wal is None or not self._pending_ops:
+            return
+        ops = self._pending_ops
+        self._pending_ops = []
+        self._committed_batches += 1
+        from repro.durability.wal import RECORD_BATCH
+
+        self._wal.append(
+            RECORD_BATCH, {"batch": self._committed_batches, "ops": ops}
+        )
+
+    def checkpoint(self, label: str = "", keep: int = 3):
+        """Compact the WAL prefix into a logstore snapshot (durable mode only).
+
+        Writes the full system snapshot to
+        ``<durable_dir>/snapshots/ckpt-NNNNNN.json`` (pruning all but the
+        newest *keep* files) and appends a ``checkpoint`` WAL record carrying
+        the state digest plus an embedded base-fact bootstrap, which is what
+        ``RecoveryManager.recover(mode="checkpoint")`` restores from.  The
+        runtime must be quiescent (no uncommitted ops).  Returns the
+        snapshot file path.
+        """
+        if self._wal is None:
+            raise EngineError("checkpoint() requires a durable runtime (durable_dir=)")
+        if self._pending_ops:
+            raise EngineError(
+                "uncommitted mutations pending; call run_to_quiescence() "
+                "before checkpoint()"
+            )
+        from repro.durability import checkpoint as checkpoint_mod
+        from repro.durability.wal import RECORD_CHECKPOINT
+        from repro.logstore.snapshot import take_snapshot
+
+        batch = self._committed_batches
+        snapshot = take_snapshot(self, label=label or f"checkpoint-{batch}")
+        path = checkpoint_mod.write_snapshot_file(self.durable_dir, batch, snapshot)
+        self._wal.append(
+            RECORD_CHECKPOINT,
+            checkpoint_mod.checkpoint_payload(self, snapshot, batch, path),
+        )
+        checkpoint_mod.prune_snapshot_files(self.durable_dir, keep)
+        return path
+
     # -- node access ----------------------------------------------------------------
 
     def node(self, node_id: object) -> Node:
@@ -256,7 +447,9 @@ class NetTrailsRuntime:
             if include_cost:
                 values.append(cost)
             rows.append(values)
-        self.insert_batch(relation, rows)
+        self._log_op(["seed_links", relation, bool(include_cost), bool(symmetric)])
+        with self._suspend_oplog():
+            self.insert_batch(relation, rows)
         if run:
             self.run_to_quiescence()
         return len(rows)
@@ -286,6 +479,7 @@ class NetTrailsRuntime:
                     if BASE_DERIVATION in node.store.derivations(existing):
                         node.delete_base(existing)
         node.insert_base(fact)
+        self._log_op(["insert", relation, list(fact.values)])
         return fact
 
     def delete(self, relation: str, values: Sequence[object]) -> Fact:
@@ -293,6 +487,7 @@ class NetTrailsRuntime:
         fact = Fact.make(relation, values)
         location = self.compiled.catalog.location_of(fact)
         self.node(location).delete_base(fact)
+        self._log_op(["delete", relation, list(fact.values)])
         return fact
 
     def insert_batch(
@@ -349,6 +544,7 @@ class NetTrailsRuntime:
                 list(per_node_inserts.get(location, ())),
                 list(per_node_deletes.get(location, ())),
             )
+        self._log_op(["insert_batch", relation, [list(fact.values) for fact in facts]])
         if run:
             self.run_to_quiescence()
         return facts
@@ -366,6 +562,7 @@ class NetTrailsRuntime:
             per_node.setdefault(location, []).append(fact)
         for location in sorted(per_node, key=repr):
             self.node(location).apply_base_batch((), per_node[location])
+        self._log_op(["delete_batch", relation, [list(fact.values) for fact in facts]])
         if run:
             self.run_to_quiescence()
         return facts
@@ -377,10 +574,14 @@ class NetTrailsRuntime:
         self.topology.add_edge(source, target, cost)
         self.network.add_link(source, target, cost=cost, latency=self._link_latency)
         self.network.add_link(target, source, cost=cost, latency=self._link_latency)
+        self._log_op(["add_link", source, target, cost])
         if self._link_relation is not None:
-            self.insert(self._link_relation, self._link_values(source, target, cost))
-            if self._link_symmetric:
-                self.insert(self._link_relation, self._link_values(target, source, cost))
+            with self._suspend_oplog():
+                self.insert(self._link_relation, self._link_values(source, target, cost))
+                if self._link_symmetric:
+                    self.insert(
+                        self._link_relation, self._link_values(target, source, cost)
+                    )
 
     def remove_link(self, source: str, target: str) -> None:
         """Remove a link at runtime, retracting its base tuples."""
@@ -388,20 +589,35 @@ class NetTrailsRuntime:
         self.topology.remove_edge(source, target)
         self.network.remove_link(source, target)
         self.network.remove_link(target, source)
+        self._log_op(["remove_link", source, target])
         if self._link_relation is not None:
-            self.delete(self._link_relation, self._link_values(source, target, cost))
-            if self._link_symmetric:
-                self.delete(self._link_relation, self._link_values(target, source, cost))
+            with self._suspend_oplog():
+                self.delete(self._link_relation, self._link_values(source, target, cost))
+                if self._link_symmetric:
+                    self.delete(
+                        self._link_relation, self._link_values(target, source, cost)
+                    )
 
     # -- execution ---------------------------------------------------------------------
 
     def run(self, duration: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run the simulator for *duration* seconds of virtual time (or until idle)."""
+        if self._wal is not None and self._pending_ops:
+            raise EngineError(
+                "durable runtimes commit mutations in whole quiescence windows; "
+                "call run_to_quiescence() instead of run() while ops are pending"
+            )
         until = None if duration is None else self.simulator.now + duration
         return self.simulator.run(until=until, max_events=max_events)
 
     def run_to_quiescence(self, max_events: int = 1_000_000) -> int:
-        """Run until no messages or events remain in flight."""
+        """Run until no messages or events remain in flight.
+
+        In durable mode the pending mutation window is committed to the
+        write-ahead log *first* (append + flush before the simulator drains),
+        so the WAL is strictly ahead of the in-memory state it describes.
+        """
+        self._commit_pending()
         return self.simulator.run_to_quiescence(max_events=max_events)
 
     @property
@@ -422,6 +638,9 @@ class NetTrailsRuntime:
         for node in self.nodes.values():
             node.close()
         self.backend.close()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     def __enter__(self) -> "NetTrailsRuntime":
         return self

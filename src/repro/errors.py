@@ -80,5 +80,11 @@ class LogStoreError(NetTrailsError):
     """Raised when snapshots or replay logs are malformed or inconsistent."""
 
 
+class DurabilityError(NetTrailsError):
+    """Raised when the write-ahead log or recovery machinery meets corrupt,
+    foreign or misused durable state (torn tails are *repaired*, not raised —
+    this class covers the unrecoverable cases)."""
+
+
 class VisualizationError(NetTrailsError):
     """Raised when a visualization export cannot be produced."""

@@ -65,14 +65,27 @@ class LogStore:
         return self._snapshots[-1]
 
     def at_time(self, time: float) -> Snapshot:
-        """The most recent snapshot taken at or before *time*."""
+        """The most recent snapshot taken at or before *time*.
+
+        The boundary is inclusive, and among snapshots sharing one capture
+        time the *last appended* wins — append order is the store's tiebreak
+        everywhere (see :meth:`by_label`), so a query "as of t" always sees
+        the newest state recorded for t.
+        """
         candidates = [snapshot for snapshot in self._snapshots if snapshot.time <= time]
         if not candidates:
             raise LogStoreError(f"no snapshot exists at or before time {time}")
         return candidates[-1]
 
     def by_label(self, label: str) -> Snapshot:
-        for snapshot in self._snapshots:
+        """The most recently appended snapshot carrying *label*.
+
+        Labels are not unique (periodic collection reuses them, and a
+        checkpoint label can be re-taken after recovery), so lookups are
+        deterministic latest-wins — matching :meth:`at_time`'s tiebreak
+        rather than returning an arbitrary earlier capture.
+        """
+        for snapshot in reversed(self._snapshots):
             if snapshot.label == label:
                 return snapshot
         raise LogStoreError(f"no snapshot with label {label!r}")

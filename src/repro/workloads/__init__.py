@@ -10,6 +10,9 @@ the network misbehaves*.  This package owns that misbehaviour repo-wide:
   fail/recover, prefix announce/withdraw, hot-hub skew, the equivalence
   harness's random link churn), each an iterator of timed delta batches;
 * :mod:`repro.workloads.queries` — Zipf-skewed provenance-query waves;
+* :mod:`repro.workloads.clients` — concurrent client threads driving a
+  :class:`~repro.durability.service.ServiceRuntime` with Zipf query mixes
+  while churn commits interleave (latency percentiles out);
 * :mod:`repro.workloads.driver` — :class:`ScenarioDriver`, which assembles a
   runtime from a spec, interleaves churn batches with query waves, and emits
   a structured :class:`MetricsReport`;
@@ -29,6 +32,7 @@ from repro.workloads.churn import (
     scenario_trace,
     trace_digest,
 )
+from repro.workloads.clients import ClientMix, ClientReport, run_concurrent_clients
 from repro.workloads.driver import MetricsReport, PhaseMetrics, ScenarioDriver, run_scenario
 from repro.workloads.profiles import PROFILES, build_profile, demo, scale, smoke
 from repro.workloads.queries import QueryCall, ZipfSampler, query_wave
@@ -45,6 +49,8 @@ __all__ = [
     "ChurnBatch",
     "ChurnOp",
     "ChurnPhase",
+    "ClientMix",
+    "ClientReport",
     "GENERATORS",
     "MetricsReport",
     "PROFILES",
@@ -62,6 +68,7 @@ __all__ = [
     "build_profile",
     "demo",
     "query_wave",
+    "run_concurrent_clients",
     "run_scenario",
     "scale",
     "scenario_trace",

@@ -1,0 +1,123 @@
+"""Concurrent-client query harness: many issuers × Zipf-skewed query mixes.
+
+:func:`run_concurrent_clients` hammers a
+:class:`~repro.durability.service.ServiceRuntime` with *N* client threads,
+each drawing Zipf-ranked targets from the served relation and a weighted mix
+of query modes from its own seeded RNG — the "millions of users" axis of the
+paper turned into a measured workload.  The main thread can interleave churn
+commits (``churn_batches=``), so the harness exercises exactly the serving
+shape the durability layer promises: queries keep flowing between commits
+and checkpoints.
+
+Latencies are wall-clock per call as a client observes them — queueing on
+the service's arbitration lock included — summarised as p50/p95/p99 through
+:func:`repro.durability.service.latency_summary`, which is the payload the
+E17 benchmark records in ``MetricsReport.latency``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import EngineError, NetTrailsError
+from repro.workloads.churn import ChurnBatch
+from repro.workloads.queries import ZipfSampler, weighted_choice
+
+
+@dataclass(frozen=True)
+class ClientMix:
+    """How one fleet of clients queries: size, skew and mode weights."""
+
+    clients: int = 4
+    queries_per_client: int = 20
+    relation: str = "minCost"
+    zipf_s: float = 1.2
+    modes: Tuple[Tuple[str, float], ...] = (("lineage", 1.0),)
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise EngineError(f"clients must be >= 1, got {self.clients}")
+        if self.queries_per_client < 1:
+            raise EngineError(
+                f"queries_per_client must be >= 1, got {self.queries_per_client}"
+            )
+
+
+@dataclass
+class ClientReport:
+    """What the fleet observed: per-call latencies and error count."""
+
+    issued: int = 0
+    errors: int = 0
+    commits: int = 0
+    seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        from repro.durability.service import latency_summary
+
+        return latency_summary(self.latencies)
+
+
+def run_concurrent_clients(
+    service,
+    mix: ClientMix = ClientMix(),
+    seed: int = 0,
+    churn_batches: Sequence[ChurnBatch] = (),
+) -> ClientReport:
+    """Run the client fleet against *service*; returns the latency report.
+
+    Clients are real threads issuing through ``service.query`` while the
+    calling thread commits *churn_batches* (if any) through
+    ``service.commit`` — single writer, many readers.  Targets are snapshot
+    rows of ``mix.relation``; a row churned away mid-run makes its query
+    fail, which is counted as an error rather than a crash (exactly what a
+    real client would see).
+    """
+    rows = service.state(mix.relation)
+    if not rows:
+        raise EngineError(
+            f"relation {mix.relation!r} is empty; seed the service before "
+            "running clients"
+        )
+    sampler = ZipfSampler(len(rows), mix.zipf_s)
+    report = ClientReport()
+    report_lock = threading.Lock()
+
+    def client(index: int) -> None:
+        rng = random.Random(f"clients:{seed}:{index}")
+        for _ in range(mix.queries_per_client):
+            rank = sampler.sample(rng)
+            values = list(rows[min(rank, len(rows) - 1)])
+            mode = weighted_choice(rng, mix.modes)
+            started = time.perf_counter()
+            try:
+                service.query(mix.relation, values, mode=mode)
+                failed = False
+            except NetTrailsError:
+                failed = True
+            elapsed = time.perf_counter() - started
+            with report_lock:
+                report.issued += 1
+                report.errors += failed
+                report.latencies.append(elapsed)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(index,), name=f"client-{index}")
+        for index in range(mix.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for batch in churn_batches:
+        ops = batch.ops if isinstance(batch, ChurnBatch) else tuple(batch)
+        service.commit(ops)
+        report.commits += 1
+    for thread in threads:
+        thread.join()
+    report.seconds = time.perf_counter() - started
+    return report

@@ -89,6 +89,17 @@ class MetricsReport:
     #: run's query engine used the interval path).
     interval: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    #: Wall-clock latency percentiles (``query_p50`` / ``query_p95`` /
+    #: ``query_p99`` etc.) from a concurrent-client run
+    #: (:func:`repro.workloads.clients.run_concurrent_clients` /
+    #: :meth:`repro.durability.service.ServiceRuntime.latency_metrics`).
+    #: Wall-clock, so *not* part of :meth:`deterministic_view`.
+    latency: Dict[str, float] = field(default_factory=dict)
+    #: Recovery-time metrics (``genesis_seconds`` / ``checkpoint_seconds``,
+    #: batches/ops replayed, truncated bytes) from
+    #: :meth:`repro.durability.recovery.RecoveryResult.recovery_metrics`.
+    #: Wall-clock, so *not* part of :meth:`deterministic_view`.
+    recovery: Dict[str, float] = field(default_factory=dict)
 
     def totals(self) -> Dict[str, int]:
         keys = (
@@ -133,6 +144,10 @@ class MetricsReport:
         document = self.deterministic_view()
         document["backend"] = self.backend
         document["seconds"] = round(self.seconds, 3)
+        if self.latency:
+            document["latency"] = dict(self.latency)
+        if self.recovery:
+            document["recovery"] = dict(self.recovery)
         for phase, rendered in zip(self.phases, document["phases"]):
             rendered["seconds"] = round(phase.seconds, 3)
         return document

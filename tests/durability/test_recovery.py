@@ -1,0 +1,232 @@
+"""Unit tests for durable runtimes and the RecoveryManager.
+
+The exhaustive crash-injection matrix lives in
+``tests/property/test_property_recovery.py``; this module pins the API
+contracts — durable-mode guards, checkpoint compaction, tail-resume after
+recovery, and the failure modes that must raise instead of corrupting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import (
+    RecoveryManager,
+    base_facts,
+    build_topology,
+    scan,
+    topology_doc,
+    wal_path,
+)
+from repro.durability.wal import RECORD_BATCH, RECORD_CHECKPOINT, RECORD_INIT
+from repro.engine import topology
+from repro.engine.runtime import NetTrailsRuntime
+from repro.errors import DurabilityError, EngineError
+from repro.protocols import mincost
+
+
+def durable_runtime(tmp_path, net=None, **kwargs):
+    kwargs.setdefault("wal_fsync", False)
+    runtime = NetTrailsRuntime(
+        mincost.SOURCE, net if net is not None else topology.ring(5),
+        durable_dir=tmp_path, **kwargs,
+    )
+    runtime.seed_links(run=True)
+    return runtime
+
+
+class TestDurableMode:
+    def test_init_record_written_on_construction(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        records = scan(wal_path(tmp_path)).records
+        assert records[0].type == RECORD_INIT
+        assert records[0].data["source"] == mincost.SOURCE
+        assert records[0].data["knobs"]["batch_deltas"] is True
+        assert records[1].type == RECORD_BATCH
+        assert records[1].data["ops"] == [["seed_links", "link", True, True]]
+        runtime.close()
+
+    def test_one_batch_record_per_quiescence_window(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        runtime.insert("link", ["n0", "n2", 7.0])
+        runtime.insert("link", ["n2", "n0", 7.0])
+        runtime.run_to_quiescence()
+        runtime.run_to_quiescence()  # no pending ops -> no empty record
+        records = scan(wal_path(tmp_path)).records
+        batches = [r for r in records if r.type == RECORD_BATCH]
+        assert len(batches) == 2
+        assert batches[-1].data["ops"] == [
+            ["insert", "link", ["n0", "n2", 7.0]],
+            ["insert", "link", ["n2", "n0", 7.0]],
+        ]
+        runtime.close()
+
+    def test_run_with_pending_ops_rejected(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        runtime.remove_link("n0", "n1")
+        with pytest.raises(EngineError, match="quiescence windows"):
+            runtime.run(0.5)
+        runtime.run_to_quiescence()
+        runtime.run(0.5)  # fine once committed
+        runtime.close()
+
+    def test_durable_dir_with_history_rejected(self, tmp_path):
+        durable_runtime(tmp_path).close()
+        with pytest.raises(EngineError, match="already holds a WAL"):
+            NetTrailsRuntime(mincost.SOURCE, topology.ring(5), durable_dir=tmp_path)
+
+    def test_parsed_program_rejected_in_durable_mode(self, tmp_path):
+        with pytest.raises(EngineError, match="source text"):
+            NetTrailsRuntime(mincost.program(), topology.ring(5), durable_dir=tmp_path)
+
+    def test_non_durable_runtime_has_no_wal_side_effects(self, tmp_path):
+        runtime = NetTrailsRuntime(mincost.SOURCE, topology.ring(5))
+        runtime.seed_links(run=True)
+        assert runtime.durable_dir is None
+        assert not wal_path(tmp_path).exists()
+        with pytest.raises(EngineError, match="durable runtime"):
+            runtime.checkpoint()
+        runtime.close()
+
+
+class TestCheckpointCompaction:
+    def test_checkpoint_writes_snapshot_file_and_record(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        path = runtime.checkpoint(label="after-seed")
+        assert path.exists() and path.parent == tmp_path / "snapshots"
+        record = scan(wal_path(tmp_path)).records[-1]
+        assert record.type == RECORD_CHECKPOINT
+        assert record.data["label"] == "after-seed"
+        assert record.data["base"]["link"] == sorted(
+            base_facts(runtime)["link"], key=repr
+        )
+        assert record.data["link"] == {
+            "relation": "link", "include_cost": True, "symmetric": True,
+        }
+        runtime.close()
+
+    def test_checkpoint_requires_quiescence(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        runtime.remove_link("n0", "n1")
+        with pytest.raises(EngineError, match="uncommitted"):
+            runtime.checkpoint()
+        runtime.close()
+
+    def test_checkpoint_files_pruned(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        for step in range(5):
+            runtime.insert("link", ["n0", "n2", 9.0 + step])
+            runtime.run_to_quiescence()
+            runtime.checkpoint(keep=2)
+        files = sorted((tmp_path / "snapshots").glob("ckpt-*.json"))
+        assert len(files) == 2
+        runtime.close()
+
+
+class TestRecoveryManager:
+    def test_recovered_runtime_resumes_appending(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        expected_next = runtime._committed_batches + 1
+        runtime.close()
+
+        result = RecoveryManager(tmp_path).recover(mode="genesis", wal_fsync=False)
+        recovered = result.runtime
+        assert recovered.durable_dir == str(tmp_path)
+        recovered.add_link("n0", "n1", 1.0)
+        recovered.run_to_quiescence()
+        tail = scan(wal_path(tmp_path)).records[-1]
+        assert tail.type == RECORD_BATCH
+        assert tail.data["batch"] == expected_next
+        assert tail.data["ops"] == [["add_link", "n0", "n1", 1.0]]
+        recovered.close()
+
+        # And the twice-recovered history still replays cleanly.
+        second = RecoveryManager(tmp_path).recover(mode="genesis", attach=False)
+        assert second.batches_replayed == expected_next
+        second.runtime.close()
+
+    def test_checkpoint_mode_replays_only_the_tail(
+        self, tmp_path, store_snapshots, provenance_fingerprint
+    ):
+        runtime = durable_runtime(tmp_path)
+        runtime.checkpoint()
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        expected = store_snapshots(runtime)
+        fingerprint = provenance_fingerprint(runtime)
+        runtime.close()
+
+        result = RecoveryManager(tmp_path).recover(mode="checkpoint", attach=False)
+        assert result.mode == "checkpoint"
+        assert result.checkpoint_batch == 1
+        assert result.batches_replayed == 1  # only the post-checkpoint window
+        assert result.checkpoints_verified == 1
+        assert store_snapshots(result.runtime) == expected
+        assert provenance_fingerprint(result.runtime) == fingerprint
+        result.runtime.close()
+
+    def test_checkpoint_mode_without_checkpoint_falls_back_to_genesis(self, tmp_path):
+        durable_runtime(tmp_path).close()
+        result = RecoveryManager(tmp_path).recover(mode="checkpoint", attach=False)
+        assert result.mode == "genesis"
+        result.runtime.close()
+
+    def test_recovery_metrics_payload(self, tmp_path):
+        durable_runtime(tmp_path).close()
+        result = RecoveryManager(tmp_path).recover(mode="genesis", attach=False)
+        metrics = result.recovery_metrics()
+        assert metrics["genesis_batches_replayed"] == 1.0
+        assert metrics["genesis_truncated_bytes"] == 0.0
+        assert metrics["genesis_seconds"] >= 0.0
+        assert result.seconds > 0.0
+        result.runtime.close()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        durable_runtime(tmp_path).close()
+        with pytest.raises(DurabilityError, match="unknown recovery mode"):
+            RecoveryManager(tmp_path).recover(mode="bogus")
+
+    def test_missing_wal_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError, match="nothing to recover"):
+            RecoveryManager(tmp_path)
+
+    def test_wal_with_no_records_rejected(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        WriteAheadLog(tmp_path, fsync=False).close()
+        with pytest.raises(DurabilityError, match="no intact records"):
+            RecoveryManager(tmp_path).recover()
+
+    def test_tampered_checkpoint_digest_fails_verification(self, tmp_path):
+        runtime = durable_runtime(tmp_path)
+        runtime.checkpoint()
+        runtime.close()
+        # Rewrite the WAL with a forged state digest (re-hashed, so the
+        # record itself verifies — only the *semantic* check can catch it).
+        from repro.durability.wal import WriteAheadLog, repair
+
+        records = scan(wal_path(tmp_path)).records
+        wal_path(tmp_path).unlink()
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        for record in records:
+            data = dict(record.data)
+            if record.type == RECORD_CHECKPOINT:
+                data["state_digest"] = "0" * 64
+            wal.append(record.type, data)
+        wal.close()
+        repair(wal_path(tmp_path))
+        with pytest.raises(DurabilityError, match="state digest"):
+            RecoveryManager(tmp_path).recover(mode="checkpoint", attach=False)
+        with pytest.raises(DurabilityError, match="state digest"):
+            RecoveryManager(tmp_path).recover(mode="genesis", attach=False)
+
+
+class TestTopologyDoc:
+    def test_topology_round_trips(self):
+        net = topology.isp_hierarchy(2, 2, 1, seed=5)
+        rebuilt = build_topology(topology_doc(net))
+        assert sorted(rebuilt.nodes) == sorted(net.nodes)
+        assert rebuilt.edges == net.edges
+        assert rebuilt.name == net.name

@@ -1,0 +1,146 @@
+"""Unit tests for ServiceRuntime: serve, commit, checkpoint, crash, recover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import ServiceRuntime, latency_summary, scan, wal_path
+from repro.durability.wal import RECORD_CHECKPOINT
+from repro.engine import topology
+from repro.errors import DurabilityError, EngineError
+from repro.protocols import mincost
+from repro.workloads.churn import ChurnOp
+
+
+def make_service(tmp_path=None, **kwargs):
+    kwargs.setdefault("wal_fsync", False)
+    service = ServiceRuntime(
+        "mincost", topology.ring(5),
+        durable_dir=tmp_path, **kwargs,
+    )
+    service.seed_links()
+    return service
+
+
+class TestServing:
+    def test_protocol_name_resolves_to_source(self):
+        with make_service() as service:
+            reference = mincost.program()
+            assert len(service.runtime.program.rules) == len(reference.rules)
+            assert not service.durable
+            assert service.state("minCost")  # the resolved protocol converges
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(EngineError, match="neither NDlog source"):
+            ServiceRuntime("nonsense", topology.ring(3))
+
+    def test_commit_and_query(self, tmp_path):
+        with make_service(tmp_path) as service:
+            receipt = service.commit([ChurnOp.remove_link("n0", "n1")])
+            assert receipt["ops"] == 1 and receipt["batch"] == 2
+            assert receipt["events"] > 0
+            rows = service.state("minCost")
+            result = service.query("minCost", list(rows[0]), mode="lineage")
+            assert result.value  # lineage of a derivable row is non-empty
+            metrics = service.latency_metrics()
+            assert metrics["query_count"] == 1.0
+            assert metrics["commit_count"] == 2.0  # seed + one commit
+            assert set(metrics) >= {"query_p50", "query_p95", "query_p99"}
+
+    def test_closed_service_refuses_everything(self):
+        service = make_service()
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(DurabilityError, match="closed"):
+            service.commit([])
+        with pytest.raises(DurabilityError, match="closed"):
+            service.query("minCost", ["n0", "n1", 1.0])
+
+
+class TestCheckpointing:
+    def test_checkpoint_every_compacts_automatically(self, tmp_path):
+        with make_service(tmp_path, checkpoint_every=2) as service:
+            for _ in range(3):
+                service.commit([ChurnOp.add_link("n0", "n2", 9.0)])
+                service.commit([ChurnOp.remove_link("n0", "n2")])
+            # seed + 6 commits = 7 batches; auto-checkpoints at 2, 4, 6.
+            assert service.checkpoints_taken == 3
+            records = scan(wal_path(tmp_path)).records
+            assert sum(r.type == RECORD_CHECKPOINT for r in records) == 3
+
+    def test_checkpoint_every_disabled_by_default(self, tmp_path):
+        with make_service(tmp_path) as service:
+            service.commit([ChurnOp.remove_link("n0", "n1")])
+            assert service.checkpoints_taken == 0
+
+    def test_negative_checkpoint_every_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="checkpoint_every"):
+            ServiceRuntime("mincost", topology.ring(3),
+                           durable_dir=tmp_path, checkpoint_every=-1)
+
+
+class TestCrashRecover:
+    def test_crash_then_recover_serves_identical_answers(self, tmp_path):
+        service = make_service(tmp_path)
+        service.commit([ChurnOp.remove_link("n0", "n1")])
+        rows = service.state("minCost")
+        before = {
+            tuple(row): sorted(str(ref) for ref in
+                               service.query("minCost", list(row)).value)
+            for row in rows[:3]
+        }
+        service.crash()
+
+        recovered = ServiceRuntime.recover(tmp_path, wal_fsync=False)
+        try:
+            assert recovered.last_recovery is not None
+            assert recovered.last_recovery.batches_replayed == 2
+            assert recovered.state("minCost") == rows
+            for row, lineage in before.items():
+                answer = recovered.query("minCost", list(row)).value
+                assert sorted(str(ref) for ref in answer) == lineage
+        finally:
+            recovered.close()
+
+    def test_crash_discards_uncommitted_mutations(self, tmp_path):
+        service = make_service(tmp_path)
+        rows = service.state("minCost")
+        # Mutate below the commit API, then crash before the window commits.
+        service.runtime.remove_link("n0", "n1")
+        service.crash()
+        recovered = ServiceRuntime.recover(tmp_path, wal_fsync=False)
+        try:
+            assert recovered.state("minCost") == rows
+            assert recovered.committed_batches == 1  # just the seed window
+        finally:
+            recovered.close()
+
+    def test_recovered_service_keeps_committing(self, tmp_path):
+        service = make_service(tmp_path)
+        service.crash()
+        recovered = ServiceRuntime.recover(tmp_path, wal_fsync=False)
+        try:
+            receipt = recovered.commit([ChurnOp.remove_link("n0", "n1")])
+            assert receipt["batch"] == 2
+            recovered.checkpoint()
+        finally:
+            recovered.close()
+
+
+class TestLatencySummary:
+    def test_empty_samples(self):
+        assert latency_summary([]) == {"count": 0.0}
+
+    def test_percentiles_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        summary = latency_summary(samples)
+        assert summary["count"] == 100.0
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+
+    def test_single_sample(self):
+        summary = latency_summary([0.25])
+        assert summary["p50"] == summary["p99"] == summary["max"] == 0.25

@@ -91,6 +91,33 @@ class TestLogStore:
         with pytest.raises(LogStoreError):
             store.by_label("missing")
 
+    def test_by_label_is_latest_wins(self, runtime):
+        """Duplicate labels (periodic captures, re-taken checkpoints) must
+        resolve to the newest capture, never an arbitrary earlier one."""
+        store = LogStore()
+        first = store.collect(runtime, label="periodic")
+        runtime.remove_link("n0", "n1")
+        runtime.run_to_quiescence()
+        second = store.collect(runtime, label="periodic")
+        assert store.by_label("periodic") is second
+        assert store.by_label("periodic") is not first
+        # unique labels are unaffected by the tiebreak
+        third = store.collect(runtime, label="unique")
+        assert store.by_label("unique") is third
+        assert store.by_label("periodic") is second
+
+    def test_at_time_ties_resolve_to_last_appended(self, runtime):
+        """Snapshots sharing one capture time follow the same latest-wins
+        tiebreak as by_label: the boundary is inclusive and the last
+        appended snapshot for that time wins."""
+        store = LogStore()
+        first = store.collect(runtime, label="a")
+        duplicate = take_snapshot(runtime, label="b")
+        assert duplicate.time == first.time  # no simulator progress between
+        store.append(duplicate)
+        assert store.at_time(first.time) is duplicate
+        assert store.at_time(first.time + 0.001) is duplicate
+
     def test_empty_store_latest_rejected(self):
         with pytest.raises(LogStoreError):
             LogStore().latest()

@@ -1,0 +1,80 @@
+"""Tests for the concurrent-client harness (workloads.clients)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import ServiceRuntime
+from repro.engine import topology
+from repro.errors import EngineError
+from repro.workloads import ClientMix, run_concurrent_clients
+from repro.workloads.churn import ChurnBatch, ChurnOp
+
+
+@pytest.fixture
+def service():
+    svc = ServiceRuntime("mincost", topology.ring(5))
+    svc.seed_links()
+    yield svc
+    svc.close()
+
+
+class TestClientMix:
+    def test_defaults_valid(self):
+        mix = ClientMix()
+        assert mix.clients == 4 and mix.relation == "minCost"
+
+    @pytest.mark.parametrize("bad", [
+        {"clients": 0},
+        {"queries_per_client": 0},
+    ])
+    def test_invalid_mix_rejected(self, bad):
+        with pytest.raises(EngineError):
+            ClientMix(**bad)
+
+
+class TestRunConcurrentClients:
+    def test_all_queries_issued_and_latencies_recorded(self, service):
+        mix = ClientMix(clients=3, queries_per_client=5)
+        report = run_concurrent_clients(service, mix, seed=7)
+        assert report.issued == 15
+        assert report.errors == 0
+        assert len(report.latencies) == 15
+        assert report.commits == 0
+        summary = report.summary()
+        assert summary["count"] == 15.0
+        assert 0.0 < summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+
+    def test_churn_commits_interleave_with_queries(self, service):
+        mix = ClientMix(clients=2, queries_per_client=10)
+        batches = [
+            ChurnBatch(index=0, phase="flap", ops=(ChurnOp.remove_link("n0", "n1"),)),
+            ChurnBatch(index=1, phase="flap", ops=(ChurnOp.add_link("n0", "n1", 1.0),)),
+        ]
+        report = run_concurrent_clients(service, mix, seed=1, churn_batches=batches)
+        assert report.commits == 2
+        assert report.issued == 20
+        # Churned rows may 404 mid-run; that is an error count, not a crash.
+        assert report.errors <= report.issued
+
+    def test_plain_op_sequences_accepted_as_batches(self, service):
+        report = run_concurrent_clients(
+            service,
+            ClientMix(clients=1, queries_per_client=2),
+            churn_batches=[[ChurnOp.remove_link("n2", "n3")]],
+        )
+        assert report.commits == 1
+
+    def test_empty_relation_rejected(self):
+        with ServiceRuntime("mincost", topology.ring(3)) as svc:
+            with pytest.raises(EngineError, match="empty"):
+                run_concurrent_clients(svc)
+
+    def test_mode_mix_exercises_multiple_query_modes(self, service):
+        mix = ClientMix(
+            clients=2,
+            queries_per_client=6,
+            modes=(("lineage", 0.5), ("participants", 0.5)),
+        )
+        report = run_concurrent_clients(service, mix, seed=3)
+        assert report.issued == 12 and report.errors == 0
