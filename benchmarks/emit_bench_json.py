@@ -17,7 +17,10 @@ Runs compact, deterministic versions of the headline experiments —
 * **E17** durability (WAL overhead vs a plain runtime, genesis and
   checkpoint recovery of a crashed history, concurrent-client serving
   latency percentiles; the every-kill-point oracle stays in
-  ``tests/property/test_property_recovery.py``) —
+  ``tests/property/test_property_recovery.py``),
+* **E18** the process-pool backend (forked-worker drains at 1/2/4 workers
+  vs serial on the stall-dominated E13 profile; the ≥1.8x speedup gate and
+  the compute-bound multicore leg stay in ``test_e18_process.py``) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -64,6 +67,7 @@ from test_e17_durability import (  # noqa: E402
     run_recovery_benchmark,
     run_wal_overhead,
 )
+from test_e18_process import WORKER_COUNTS, run_scale_churn  # noqa: E402
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -266,6 +270,35 @@ def collect_metrics() -> dict:
         raise SystemExit(
             "E17 invariant violated: a recovered runtime diverged from the "
             "uncrashed twin"
+        )
+
+    # E18 — process-pool backend on the stall-dominated churn profile.
+    # Counts are deterministic and gated once (from the serial reference);
+    # the hard invariant is that every forked-worker run reproduces the
+    # serial surface — wire traffic, events, converged state, provenance
+    # versions and the canonical fingerprint — bit for bit.  Wall clock and
+    # the derived speedups are recorded ungated (the pytest gate enforces
+    # the ≥1.8x bound at 4 workers before this script runs in CI).
+    e18_serial = run_scale_churn("serial")
+    metrics["e18.messages"] = _metric(e18_serial["messages"])
+    metrics["e18.events"] = _metric(e18_serial["events"])
+    metrics["e18.rounds"] = _metric(e18_serial["rounds"])
+    metrics["e18.deltas"] = _metric(e18_serial["deltas"])
+    metrics["e18.batches"] = _metric(e18_serial["batches"])
+    metrics["e18.serial.seconds"] = _metric(round(e18_serial["seconds"], 3), gate=False)
+    for workers in WORKER_COUNTS:
+        run = run_scale_churn("process", workers=workers)
+        for key in ("messages", "events", "rounds", "deltas", "state", "versions", "fingerprint", "batches"):
+            if run[key] != e18_serial[key]:
+                raise SystemExit(
+                    f"E18 invariant violated: process backend ({workers} "
+                    f"workers) diverged from serial on {key}"
+                )
+        metrics[f"e18.process_w{workers}.seconds"] = _metric(
+            round(run["seconds"], 3), gate=False
+        )
+        metrics[f"e18.process_w{workers}.speedup"] = _metric(
+            round(e18_serial["seconds"] / run["seconds"], 2), gate=False
         )
     return metrics
 

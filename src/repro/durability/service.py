@@ -70,7 +70,19 @@ class ServiceRuntime:
     ``program`` is NDlog source text or a registered protocol name (durable
     mode journals the source, so a parsed ``Program`` is deliberately not
     accepted here).  ``checkpoint_every=N`` compacts the WAL after every Nth
-    committed batch; ``0`` disables automatic checkpoints.
+    committed batch; ``0`` disables automatic checkpoints.  Every other
+    keyword argument is forwarded verbatim to
+    :class:`~repro.engine.runtime.NetTrailsRuntime` — its class docstring
+    holds the canonical knob and ``NETTRAILS_*`` environment-hook table
+    (``backend=``/``backend_workers=`` included: a durable service under a
+    concurrent backend journals and recovers identically, because the WAL
+    records logical inputs only, never the execution backend).
+
+    >>> from repro.engine import topology
+    >>> with ServiceRuntime("mincost", topology.line(3)) as service:
+    ...     _ = service.seed_links()
+    ...     bool(service.runtime.state("minCost"))
+    True
     """
 
     def __init__(

@@ -12,6 +12,11 @@ delegated to an :class:`ExecutionBackend`:
   concurrently on a thread pool.
 * :class:`AsyncioBackend` — the same scheduling contract driven through a
   persistent asyncio event loop, for embedding the engine in async hosts.
+* :class:`ProcessPoolBackend` — forked worker processes own the CPU-heavy
+  drain cascades (one worker per ``workers``, nodes pinned by a stable
+  seeded hash), sidestepping the GIL for true multi-core execution; the
+  coordinator mirrors each worker's drain trace so observable state stays
+  bit-identical (see :mod:`repro.engine.procpool`).
 
 Scheduling contract (every backend)
 -----------------------------------
@@ -47,8 +52,11 @@ counts to pin this.
 Backend selection is uniform across the API surface: pass ``backend=`` /
 ``backend_workers=`` to :class:`~repro.engine.runtime.NetTrailsRuntime`, or
 set the ``NETTRAILS_BACKEND`` environment variable (``serial`` | ``thread``
-| ``asyncio``) to change the default process-wide — the CI property matrix
-runs the whole suite under each value.
+| ``asyncio`` | ``process``) to change the default process-wide — the CI
+property matrix runs the whole suite under each value.  The companion
+``NETTRAILS_BACKEND_WORKERS`` variable supplies the default worker count the
+same way (:func:`default_backend_workers`); an explicit ``backend_workers=``
+argument always wins.
 """
 
 from __future__ import annotations
@@ -65,6 +73,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us
 #: Environment variable consulted when no explicit backend is requested.
 BACKEND_ENV_VAR = "NETTRAILS_BACKEND"
 
+#: Environment variable supplying the default worker count (parity with
+#: ``backend_workers=``); unset/empty means each backend's built-in default.
+BACKEND_WORKERS_ENV_VAR = "NETTRAILS_BACKEND_WORKERS"
+
+
+def default_worker_count() -> int:
+    """The concurrent backends' built-in worker-pool size."""
+    return min(8, os.cpu_count() or 2)
+
+
+def default_backend_workers() -> Optional[int]:
+    """``NETTRAILS_BACKEND_WORKERS`` as an int, or ``None`` when unset.
+
+    Same contract as every other ``NETTRAILS_*`` hook: unset or empty means
+    the default (here: ``None``, i.e. the backend's own default worker
+    count), a well-formed value applies, and a malformed one — not an
+    integer, or < 1 — raises :class:`~repro.errors.EngineError` loudly at
+    construction time rather than being silently ignored.
+    """
+    raw = os.environ.get(BACKEND_WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise EngineError(
+            f"{BACKEND_WORKERS_ENV_VAR}={raw!r} is not an integer worker count"
+        )
+    if workers < 1:
+        raise EngineError(f"{BACKEND_WORKERS_ENV_VAR} must be >= 1, got {workers}")
+    return workers
+
 
 class ExecutionBackend:
     """Strategy for executing the events of one virtual-time wave."""
@@ -80,8 +120,18 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def attach(self, runtime: object) -> None:
+        """Bind the backend to a fully-built runtime (hook for subclasses).
+
+        Called once by :class:`~repro.engine.runtime.NetTrailsRuntime` after
+        its nodes and links exist but before any event has executed (and
+        before durable mode opens its WAL).  The default is a no-op; the
+        process-pool backend forks its workers here so they inherit a
+        byte-identical copy of every store.
+        """
+
     def close(self) -> None:
-        """Release worker resources (threads, event loops); idempotent."""
+        """Release worker resources (threads, event loops, processes); idempotent."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -111,7 +161,7 @@ class _ConcurrentBackend(ExecutionBackend):
     def __init__(self, workers: Optional[int] = None):
         if workers is not None and workers < 1:
             raise EngineError(f"{type(self).__name__} needs >= 1 worker, got {workers}")
-        self.workers = workers or min(8, os.cpu_count() or 2)
+        self.workers = workers or default_worker_count()
 
     # -- wave execution -----------------------------------------------------
 
@@ -261,11 +311,154 @@ class AsyncioBackend(_ConcurrentBackend):
             self._pool = None
 
 
+class ProcessPoolBackend(ThreadPoolBackend):
+    """True multi-core execution: forked worker processes own node drains.
+
+    :meth:`attach` — called by the runtime constructor once nodes and links
+    exist — pins every logical node to one of ``workers`` forked processes
+    (stable seeded CRC32 of the node id, so the same topology always maps
+    the same way) and installs a remote-drain hook on each node.  A drain
+    then ships the node's pending queue to the owning worker, which runs the
+    full evaluator cascade against its forked copy of the store and returns
+    an ordered trace of store batches and rule effects; the coordinator
+    mirrors the trace so the authoritative store, provenance graph and
+    outgoing traffic stay bit-identical to a local drain (see
+    :mod:`repro.engine.procpool` for the worker side and the divergence
+    check).
+
+    Wave scheduling is inherited from :class:`ThreadPoolBackend`: each key
+    group of a wave runs on a coordinator thread, but the heavy lifting of a
+    drain happens in the worker process while the coordinator thread merely
+    blocks on the pipe (releasing the GIL) — which is what lets distinct
+    nodes' drains use distinct cores.  Requests to the same worker are
+    serialized by a per-worker lock; the deferred side-effect merge is
+    byte-for-byte the thread backend's.
+
+    If a worker process dies (killed, OOM, crashed), the next drain request
+    routed to it raises :class:`~repro.errors.EngineError` loudly — the
+    in-flight wave cannot be recovered, so the runtime must be rebuilt
+    (durable mode replays the WAL).  Without :meth:`attach` (a bare
+    ``Simulator(backend=ProcessPoolBackend())``) no workers exist and the
+    backend degrades gracefully to thread-pool behaviour.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, seed: int = 0):
+        super().__init__(workers)
+        #: Seed of the node→worker assignment hash (stable across runs).
+        self.seed = seed
+        self._handles: List[tuple] = []  # (process, pipe connection, request lock)
+        self._assignment: Dict[object, int] = {}
+        self._attached = False
+
+    # -- worker management -------------------------------------------------------
+
+    def assignment_for(self, node_ids: Sequence[object]) -> Dict[object, int]:
+        """The stable node→worker mapping, balanced by construction.
+
+        Nodes are ordered by a seeded CRC32 of their id (a stable
+        pseudo-random shuffle — same seed and node set, same order) and
+        dealt round-robin, so worker loads never differ by more than one
+        node regardless of how the hash happens to cluster.
+        """
+        import zlib
+
+        def shuffle_key(node_id: object) -> tuple:
+            return (zlib.crc32(repr((self.seed, node_id)).encode("utf-8")), repr(node_id))
+
+        ordered = sorted(node_ids, key=shuffle_key)
+        return {node_id: index % self.workers for index, node_id in enumerate(ordered)}
+
+    def attach(self, runtime: object) -> None:
+        import multiprocessing as mp
+        import threading
+
+        if self._attached:
+            raise EngineError(
+                "a ProcessPoolBackend instance binds to one runtime; construct "
+                "a fresh backend (or pass backend='process') per runtime"
+            )
+        self._attached = True
+        nodes = getattr(runtime, "nodes", None)
+        if not nodes:
+            return
+        if "fork" not in mp.get_all_start_methods():  # pragma: no cover - POSIX-only repo
+            raise EngineError(
+                "the process backend requires the fork start method (POSIX); "
+                "use backend='thread' on this platform"
+            )
+        from repro.engine.procpool import worker_main
+
+        context = mp.get_context("fork")
+        self._assignment = self.assignment_for(list(nodes))
+        owned_by: Dict[int, List[object]] = {index: [] for index in range(self.workers)}
+        for node_id, index in self._assignment.items():
+            owned_by[index].append(node_id)
+        for index in range(self.workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(child_conn, dict(nodes), owned_by[index]),
+                name=f"nettrails-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._handles.append((process, parent_conn, threading.Lock()))
+        for node_id, node in nodes.items():
+            node._remote_drain = self._make_remote_drain(self._assignment[node_id])
+
+    def _make_remote_drain(self, index: int) -> Callable:
+        def remote_drain(node) -> None:
+            updates = list(node._queue)
+            node._queue.clear()
+            if not updates:
+                return
+            trace = self._request(index, node.id, updates)
+            node._mirror_trace(trace)
+
+        return remote_drain
+
+    def _request(self, index: int, node_id: object, updates: List) -> List[tuple]:
+        process, conn, lock = self._handles[index]
+        with lock:
+            try:
+                conn.send((node_id, updates))
+                status, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise EngineError(
+                    f"process backend worker {index} (pid {process.pid}) died while "
+                    f"draining node {node_id!r}; the in-flight wave is lost — "
+                    "rebuild the runtime (durable mode replays the WAL)"
+                ) from exc
+        if status != "ok":
+            raise EngineError(
+                f"process backend worker {index} failed draining node {node_id!r}: {payload}"
+            )
+        return payload
+
+    def close(self) -> None:
+        handles, self._handles = self._handles, []
+        for process, conn, _lock in handles:
+            try:
+                conn.send(None)
+            except OSError:  # worker already gone / pipe closed
+                pass
+            conn.close()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker backstop
+                process.terminate()
+                process.join(timeout=1.0)
+        super().close()
+
+
 #: Registry used by :func:`resolve_backend` and the ``NETTRAILS_BACKEND`` hook.
 BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ThreadPoolBackend.name: ThreadPoolBackend,
     AsyncioBackend.name: AsyncioBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
 }
 
 BackendSpec = Union[None, str, ExecutionBackend]
@@ -280,10 +473,14 @@ def resolve_backend(spec: BackendSpec = None, workers: Optional[int] = None) -> 
     """Turn a backend specification into an :class:`ExecutionBackend` instance.
 
     *spec* may be an instance (returned as-is; *workers* must then be unset),
-    a registered name (``"serial"``, ``"thread"``, ``"asyncio"``), or ``None``
-    — which consults the ``NETTRAILS_BACKEND`` environment variable and falls
-    back to serial.  ``workers`` bounds the worker pool of the concurrent
-    backends (default: ``min(8, cpu_count)``); the serial backend ignores it.
+    a registered name (``"serial"``, ``"thread"``, ``"asyncio"``,
+    ``"process"``), or ``None`` — which consults the ``NETTRAILS_BACKEND``
+    environment variable and falls back to serial.  ``workers`` bounds the
+    worker pool of the concurrent backends; when ``None`` the
+    ``NETTRAILS_BACKEND_WORKERS`` variable is consulted and the backends'
+    built-in default (``min(8, cpu_count)``) applies last.  The serial
+    backend ignores it, and an already-constructed instance is returned
+    untouched (its own configuration wins over the environment).
     """
     if isinstance(spec, ExecutionBackend):
         if workers is not None:
@@ -292,6 +489,8 @@ def resolve_backend(spec: BackendSpec = None, workers: Optional[int] = None) -> 
                 f"backend instance ({spec!r}); configure the instance instead"
             )
         return spec
+    if workers is None:
+        workers = default_backend_workers()
     name = spec if spec is not None else default_backend_name()
     if name not in BACKENDS:
         raise EngineError(

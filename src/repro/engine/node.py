@@ -150,6 +150,17 @@ class Node:
         self._queue: Deque[_PendingUpdate] = deque()
         self._processing = False
         self._drain_scheduled = False
+        #: Installed by the process-pool backend: a callable that ships this
+        #: node's pending queue to the owning worker process and mirrors the
+        #: returned drain trace (see :mod:`repro.engine.procpool`).  ``None``
+        #: — every other configuration — drains locally.
+        self._remote_drain: Optional[Callable[["Node"], None]] = None
+        #: Worker-side drain trace: ``None`` outside a worker process.  While
+        #: a list, ``_apply_batch`` / ``_apply`` / ``_handle_effects`` append
+        #: ``("batch", updates)`` / ``("single", update)`` /
+        #: ``("effects", effects, tags)`` entries instead of touching the
+        #: network, and the coordinator replays them via :meth:`_mirror_trace`.
+        self._trace: Optional[List[tuple]] = None
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         network.register(node_id, self)
 
@@ -267,6 +278,9 @@ class Node:
         self.network.simulator.schedule(0.0, fire, label=f"drain:{self.id}", key=self.id)
 
     def _drain(self) -> None:
+        if self._remote_drain is not None:
+            self._remote_drain(self)
+            return
         self._processing = True
         try:
             while self._queue:
@@ -286,10 +300,21 @@ class Node:
         the *net* presence transitions, and the provenance partition is
         updated under a single version bump.
         """
+        if self._trace is not None:
+            self._trace.append(("batch", list(updates)))
         self.stats.updates_processed += len(updates)
         self.stats.batches_processed += 1
         if self.batch_commit_stall_s > 0.0:
             time.sleep(self.batch_commit_stall_s)
+        newly_present, disappeared = self._absorb_batch(updates)
+        if newly_present or disappeared:
+            effects = self.evaluator.on_batch(newly_present, disappeared)
+            self._handle_effects(effects)
+
+    def _absorb_batch(
+        self, updates: List[_PendingUpdate]
+    ) -> Tuple[List[Fact], List[Fact]]:
+        """Apply *updates* to the store and the provenance partition (no evaluation)."""
         newly_present, disappeared, applied = self.store.apply_delta_batch(
             (update.sign, update.fact, update.derivation_id) for update in updates
         )
@@ -309,35 +334,64 @@ class Node:
                         self.provenance.record_support(self.id, fact, derivation_id, tag)
                     else:
                         self.provenance.remove_support(self.id, fact, derivation_id)
-        if newly_present or disappeared:
-            effects = self.evaluator.on_batch(newly_present, disappeared)
-            self._handle_effects(effects)
+        return newly_present, disappeared
 
     def _apply(self, update: _PendingUpdate) -> None:
+        if self._trace is not None:
+            self._trace.append(("single", update))
         self.stats.updates_processed += 1
+        if self._absorb_single(update):
+            if update.sign > 0:
+                effects = self.evaluator.on_fact_inserted(update.fact)
+            else:
+                effects = self.evaluator.on_fact_deleted(update.fact)
+            self._handle_effects(effects)
+
+    def _absorb_single(self, update: _PendingUpdate) -> bool:
+        """Apply one update to store + provenance; True if presence changed."""
         if update.sign > 0:
             newly_present = self.store.add_derivation(update.fact, update.derivation_id)
             if self.provenance is not None:
                 self.provenance.record_support(
                     self.id, update.fact, update.derivation_id, update.tag
                 )
-            if newly_present:
-                effects = self.evaluator.on_fact_inserted(update.fact)
-                self._handle_effects(effects)
-        else:
-            had_derivation = update.derivation_id in self.store.derivations(update.fact)
-            disappeared = self.store.remove_derivation(update.fact, update.derivation_id)
-            if self.provenance is not None and had_derivation:
-                self.provenance.remove_support(self.id, update.fact, update.derivation_id)
-            if disappeared:
-                effects = self.evaluator.on_fact_deleted(update.fact)
-                self._handle_effects(effects)
+            return bool(newly_present)
+        had_derivation = update.derivation_id in self.store.derivations(update.fact)
+        disappeared = self.store.remove_derivation(update.fact, update.derivation_id)
+        if self.provenance is not None and had_derivation:
+            self.provenance.remove_support(self.id, update.fact, update.derivation_id)
+        return bool(disappeared)
 
     def _handle_effects(self, effects: List[DerivationEffect]) -> None:
         if not effects:
             return
         tags = self._record_effects(effects)
+        if self._trace is not None:
+            # Worker process: ship the effects + tags for the coordinator to
+            # mirror (it performs the network sends); keep the local-head
+            # enqueue so the worker-side cascade continues.
+            self._trace.append(("effects", list(effects), list(tags)))
+            self._dispatch_effects(effects, tags, enqueue_local=True, send_remote=False)
+        else:
+            self._dispatch_effects(effects, tags, enqueue_local=True, send_remote=True)
+        if self._queue and not self._processing:
+            self._drain()
 
+    def _dispatch_effects(
+        self,
+        effects: List[DerivationEffect],
+        tags: List[Optional[ProvenanceTag]],
+        enqueue_local: bool,
+        send_remote: bool,
+    ) -> None:
+        """Turn evaluator effects into queue pushes and outgoing deltas.
+
+        ``enqueue_local=False`` is the coordinator mirroring a worker trace:
+        local heads already continued the cascade worker-side and arrive as
+        the trace's next ``("batch", ...)`` entry.  ``send_remote=False`` is
+        the worker side of the same split: remote heads travel home in the
+        ``("effects", ...)`` trace entry and the coordinator sends them.
+        """
         outgoing: Dict[object, List[TupleDelta]] = {}
         destinations: List[object] = []  # deterministic first-seen order
         for effect, tag in zip(effects, tags):
@@ -346,9 +400,12 @@ class Node:
             else:
                 self.stats.rule_retractions += 1
             if effect.head_location == self.id:
-                self._queue.append(
-                    _PendingUpdate(effect.sign, effect.head_fact, effect.firing_id, tag)
-                )
+                if enqueue_local:
+                    self._queue.append(
+                        _PendingUpdate(effect.sign, effect.head_fact, effect.firing_id, tag)
+                    )
+                continue
+            if not send_remote:
                 continue
             self.stats.deltas_sent += 1
             delta = TupleDelta(
@@ -379,8 +436,57 @@ class Node:
                         payload=payload,
                     )
                 )
-        if self._queue and not self._processing:
-            self._drain()
+
+    # -- coordinator-side mirror of a worker drain trace -------------------------
+
+    def _mirror_trace(self, trace: List[tuple]) -> None:
+        """Replay a worker's drain trace against the authoritative state.
+
+        The trace is the exact sequence of store batches and effect lists a
+        local drain would have produced, so replaying it entry by entry
+        leaves the coordinator's store, provenance partition, stats and
+        outgoing traffic bit-identical to a local drain — minus the
+        evaluator work and the commit stall, which the worker already paid.
+        """
+        self._processing = True
+        try:
+            for entry in trace:
+                kind = entry[0]
+                if kind == "batch":
+                    self._mirror_batch(entry[1])
+                elif kind == "single":
+                    self._mirror_single(entry[1])
+                elif kind == "effects":
+                    self._mirror_effects(entry[1], entry[2])
+                else:
+                    raise EngineError(
+                        f"node {self.id!r}: malformed worker trace entry {kind!r}"
+                    )
+        finally:
+            self._processing = False
+
+    def _mirror_batch(self, updates: List[_PendingUpdate]) -> None:
+        self.stats.updates_processed += len(updates)
+        self.stats.batches_processed += 1
+        # The commit stall was paid in the worker (where stalls of distinct
+        # workers overlap); the evaluator consequences arrive as the next
+        # trace entries.
+        self._absorb_batch(updates)
+
+    def _mirror_single(self, update: _PendingUpdate) -> None:
+        self.stats.updates_processed += 1
+        self._absorb_single(update)
+
+    def _mirror_effects(
+        self, effects: List[DerivationEffect], tags: List[Optional[ProvenanceTag]]
+    ) -> None:
+        recorded = self._record_effects(effects)
+        if recorded != tags:
+            raise EngineError(
+                f"node {self.id!r}: worker-computed provenance tags diverged from "
+                "the coordinator's provenance engine (stores out of sync?)"
+            )
+        self._dispatch_effects(effects, recorded, enqueue_local=False, send_remote=True)
 
     def _record_effects(self, effects: List[DerivationEffect]) -> List[Optional[ProvenanceTag]]:
         """Record rule firings/retractions in the provenance engine, batched."""

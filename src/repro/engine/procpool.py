@@ -1,0 +1,147 @@
+"""Worker-process side of the process-pool execution backend.
+
+:class:`~repro.engine.backends.ProcessPoolBackend` forks one OS process per
+worker and pins every logical node to exactly one worker (a stable seeded
+hash of the node id).  The fork happens while the runtime is being
+constructed — after the nodes and links exist, before any event has run —
+so each worker starts from a byte-identical copy of every store.  From then
+on the contract is:
+
+* the **coordinator** (the parent process) keeps running the simulator, the
+  network and the provenance engine exactly as the thread backend does;
+* a node's ``_drain`` — the CPU-heavy semi-naive cascade — is shipped to the
+  owning worker as ``(node_id, pending_updates)`` over a pipe;
+* the worker replays the drain against *its* copy of the node (same store
+  bytes, same evaluator, same code ⇒ same cascade) while recording an
+  ordered **trace** of every store batch it applied and every effect list
+  the evaluator produced;
+* the coordinator mirrors the trace against the authoritative store and the
+  real provenance engine, and performs the network sends the worker skipped
+  — in the exact order a local drain would have, so the observable outcome
+  stays bit-identical to the serial backend.
+
+Worker-side provenance is the crux: the worker must ship the same
+:class:`~repro.engine.messages.ProvenanceTag` objects a local drain would
+have attached to each derivation, but it must not (and need not) maintain a
+provenance graph.  Because vertex identifiers are content-addressed
+(:mod:`repro.core.keys`), the tag of a rule firing is a pure function of the
+effect — :class:`TagRecorder` below computes it statelessly, and the
+coordinator asserts the worker's tags match the engine's when it mirrors the
+trace (a cheap cross-process divergence detector).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.keys import rid_for, vid_for
+from repro.engine.messages import ProvenanceTag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+    from repro.engine.evaluator import DerivationEffect
+    from repro.engine.node import Node
+
+
+class TagRecorder:
+    """A stateless provenance recorder for worker processes.
+
+    Implements the duck-typed recorder protocol of
+    :class:`~repro.engine.node.Node` (see the module docstring there) without
+    storing anything: support changes are dropped — the coordinator replays
+    them against the real :class:`~repro.core.maintenance.ProvenanceEngine` —
+    and rule-execution tags are recomputed from the effect alone, which is
+    possible because VIDs and RIDs are content-addressed hashes of the facts
+    involved (``ProvenanceEngine.record_rule_exec`` derives its rid from
+    exactly the same inputs).
+    """
+
+    @staticmethod
+    def tag_for(exec_node: object, effect: "DerivationEffect") -> ProvenanceTag:
+        child_vids = [vid_for(fact) for fact in effect.body_facts]
+        return ProvenanceTag(
+            rule_name=effect.rule_name,
+            program_name=effect.program_name,
+            exec_node=exec_node,
+            rid=rid_for(effect.rule_name, exec_node, child_vids),
+        )
+
+    def record_rule_exec(self, exec_node: object, effect: "DerivationEffect") -> ProvenanceTag:
+        return self.tag_for(exec_node, effect)
+
+    def remove_rule_exec(self, exec_node: object, effect: "DerivationEffect") -> None:
+        return None
+
+    def record_support(self, node_id: object, fact: object, derivation_id: str, tag: object) -> None:
+        return None
+
+    def remove_support(self, node_id: object, fact: object, derivation_id: str) -> None:
+        return None
+
+    def apply_support_batch(self, node_id: object, ops: Sequence[object]) -> None:
+        return None
+
+    def apply_rule_exec_batch(
+        self, exec_node: object, effects: Sequence["DerivationEffect"]
+    ) -> List[Optional[ProvenanceTag]]:
+        return [
+            self.tag_for(exec_node, effect) if effect.sign > 0 else None for effect in effects
+        ]
+
+
+def bootstrap_worker(nodes: Dict[object, "Node"], owned_ids: Sequence[object]) -> Dict[object, "Node"]:
+    """Prepare the forked copy of the runtime for serving drain requests.
+
+    Only the nodes in *owned_ids* are ever drained here.  Their queues are
+    cleared (whatever the fork captured in-flight is still queued on the
+    coordinator side and arrives with the next drain request), the remote
+    hook and scheduling flags are reset so ``_drain`` runs the real local
+    cascade, and the provenance recorder is swapped for the stateless
+    :class:`TagRecorder`.
+    """
+    owned: Dict[object, "Node"] = {}
+    for node_id in owned_ids:
+        node = nodes[node_id]
+        node._remote_drain = None
+        node._queue.clear()
+        node._drain_scheduled = False
+        node._processing = False
+        if node.provenance is not None:
+            node.provenance = TagRecorder()
+        owned[node_id] = node
+    return owned
+
+
+def worker_main(conn: "Connection", nodes: Dict[object, "Node"], owned_ids: Sequence[object]) -> None:
+    """Serve drain requests until the coordinator sends the ``None`` sentinel.
+
+    Each request is ``(node_id, updates)``; the reply envelope is
+    ``("ok", trace)`` or ``("error", message)`` — the coordinator turns the
+    latter into an :class:`~repro.errors.EngineError`.  The worker exits via
+    :func:`os._exit` so the fork's inherited file buffers (WAL-less by
+    construction, but e.g. pytest's capture pipes) are never double-flushed.
+    """
+    owned = bootstrap_worker(nodes, owned_ids)
+    try:
+        while True:
+            request = conn.recv()
+            if request is None:
+                break
+            node_id, updates = request
+            node = owned[node_id]
+            node._queue.extend(updates)
+            node._trace = []
+            try:
+                node._drain()
+                conn.send(("ok", node._trace))
+            except Exception as exc:  # pragma: no cover - shipped to the coordinator
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            finally:
+                node._trace = None
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - coordinator went away
+        pass
+    finally:
+        conn.close()
+        os._exit(0)

@@ -143,24 +143,85 @@ class NetTrailsRuntime:
     them through the simulated network.  Base tuples go in through
     :meth:`insert` / :meth:`insert_batch`, virtual time advances through
     :meth:`run` / :meth:`run_to_quiescence`, and global state comes back out
-    through :meth:`state`.  ``num_shards=K`` shards every node's store across
-    K hash partitions and ``shard_workers=N`` absorbs sharded delta batches
-    on N threads — same results, parallel hot-node batch absorption.
-    ``backend=`` selects the execution backend that drains same-instant
-    simulator events (``"serial"`` — the default reference mode — or the
-    concurrent ``"thread"`` / ``"asyncio"`` backends, which run distinct
-    nodes' drains and deliveries in parallel with bit-identical results; see
-    :mod:`repro.engine.backends`).  ``query_cache_capacity=`` bounds each
-    node's provenance-query result cache (``None`` = engine default, ``0`` =
-    uncapped).  The runtime is a context manager —
-    ``with NetTrailsRuntime(...) as runtime:`` releases backend and shard
-    worker threads on exit, which is the leak-proof way to use worker-backed
-    configurations in tests.
+    through :meth:`state`.  The runtime is a context manager —
+    ``with NetTrailsRuntime(...) as runtime:`` releases backend workers,
+    shard threads and forked worker processes on exit, which is the
+    leak-proof way to use worker-backed configurations in tests.
+
+    **Constructor knobs** (this is the canonical table; every other
+    docstring defers to it):
+
+    ================================ ==========================================
+    knob (default)                   effect
+    ================================ ==========================================
+    ``program``                      NDlog source text or a parsed ``Program``
+    ``topology``                     the :class:`Topology` to build nodes for
+    ``provenance`` (True)            ``True`` = ExSPAN prov/ruleExec engine,
+                                     ``False``/``None`` = off, or a duck-typed
+                                     recorder object
+    ``default_latency`` (0.01)       virtual seconds per non-link message hop
+    ``link_latency`` (0.01)          virtual seconds per topology-link hop
+    ``registry`` (None)              a custom :class:`FunctionRegistry`
+    ``program_name`` (None)          name used when parsing source text
+    ``aggregate_retract_first``      legacy retract-then-assert aggregate
+    (False)                          ordering
+    ``batch_deltas`` (True)          batch-first evaluation; ``False`` replays
+                                     deltas one at a time (the E11 baseline)
+    ``num_shards`` (None)            hash-shard every node's store across K
+                                     partitions
+    ``shard_workers`` (0)            threads absorbing sharded sub-batches
+    ``backend`` (None)               execution backend: ``"serial"`` |
+                                     ``"thread"`` | ``"asyncio"`` |
+                                     ``"process"``, a constructed
+                                     ``ExecutionBackend``, or ``None`` = env
+                                     hook then serial
+    ``backend_workers`` (None)       worker bound for concurrent backends
+                                     (``None`` = env hook then
+                                     ``min(8, cpu_count)``)
+    ``batch_commit_stall_s`` (0.0)   emulated per-batch commit latency (an
+                                     fsync stand-in the concurrent backends
+                                     overlap)
+    ``query_cache_capacity`` (None)  per-node query-cache bound (``None`` =
+                                     env hook then default, ``0`` = uncapped)
+    ``use_interval_index`` (None)    interval-indexed provenance queries
+                                     (``None`` = env hook then off)
+    ``durable_dir`` (None)           write-ahead-log directory; turns on
+                                     durable commit-per-quiescence-window mode
+    ``wal_fsync`` (True)             fsync barrier per WAL append
+    ================================ ==========================================
+
+    **Environment hooks** — each is consulted only when the matching
+    constructor argument is left at ``None`` (an explicit argument always
+    wins), and a malformed value raises :class:`~repro.errors.EngineError`
+    at construction (``tests/engine/test_env_hooks.py`` pins the contract):
+
+    ================================ ==========================================
+    variable                         stands in for
+    ================================ ==========================================
+    ``NETTRAILS_BACKEND``            ``backend`` (``serial``/``thread``/
+                                     ``asyncio``/``process``)
+    ``NETTRAILS_BACKEND_WORKERS``    ``backend_workers`` (integer ≥ 1)
+    ``NETTRAILS_QUERY_CACHE_CAPACITY`` ``query_cache_capacity`` (integer ≥ 0)
+    ``NETTRAILS_INTERVAL_INDEX``     ``use_interval_index`` (boolean words)
+    ``NETTRAILS_DURABLE_DIR``        ``durable_dir`` (a writable path)
+    ================================ ==========================================
+
+    See ``docs/performance.md`` for which backend/worker/shard/batch
+    configuration pays off when.
 
     >>> from repro.engine import topology
     >>> runtime = NetTrailsRuntime("r1 reach(@D, S) :- edge(@S, D).", topology.line(2))
     >>> _ = runtime.insert_batch("edge", [["n0", "n1"], ["n1", "n0"]], run=True)
     >>> runtime.state("reach")
+    [('n0', 'n1'), ('n1', 'n0')]
+
+    Concurrent backends — forked worker processes included — are drop-in and
+    bit-identical on everything but wall-clock time:
+
+    >>> with NetTrailsRuntime("r1 reach(@D, S) :- edge(@S, D).", topology.line(2),
+    ...                       backend="process", backend_workers=2) as multicore:
+    ...     _ = multicore.insert_batch("edge", [["n0", "n1"], ["n1", "n0"]], run=True)
+    ...     multicore.state("reach")
     [('n0', 'n1'), ('n1', 'n0')]
     """
 
@@ -192,11 +253,13 @@ class NetTrailsRuntime:
         self.compiled: CompiledProgram = compile_program(program, registry)
         self.topology = topology
         #: Execution backend draining same-instant simulator events.  Accepts
-        #: a name (``"serial"`` / ``"thread"`` / ``"asyncio"``), a constructed
+        #: a name (``"serial"`` / ``"thread"`` / ``"asyncio"`` /
+        #: ``"process"``), a constructed
         #: :class:`~repro.engine.backends.ExecutionBackend`, or ``None`` —
         #: which consults the ``NETTRAILS_BACKEND`` environment variable and
         #: defaults to the deterministic serial reference mode.
-        #: ``backend_workers`` bounds the concurrent backends' worker pools.
+        #: ``backend_workers`` bounds the concurrent backends' worker pools
+        #: (``None`` consults ``NETTRAILS_BACKEND_WORKERS``).
         self.backend: ExecutionBackend = resolve_backend(backend, backend_workers)
         self.simulator = Simulator(backend=self.backend)
         self.network = Network(self.simulator, default_latency=default_latency)
@@ -271,6 +334,12 @@ class NetTrailsRuntime:
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
+        # Bind the backend to the fully-built node set.  The process-pool
+        # backend forks its workers here: after the nodes (and their stores)
+        # exist, before any event has run, and before durable mode opens its
+        # WAL — so workers inherit byte-identical stores and no file handles
+        # they must not share.
+        self.backend.attach(self)
 
         #: Durable mode (see :mod:`repro.durability`): with ``durable_dir=``
         #: set — or the ``NETTRAILS_DURABLE_DIR`` hook — every mutator call

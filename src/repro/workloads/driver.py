@@ -83,6 +83,11 @@ class MetricsReport:
     nodes: int
     edges: int
     trace_digest: str
+    #: Worker count of the execution backend (1 for serial).  Like
+    #: ``backend``, an identity field: excluded from
+    #: :meth:`deterministic_view` because every worker count must produce
+    #: identical observable state.
+    backend_workers: int = 1
     phases: List[PhaseMetrics] = field(default_factory=list)
     cache: Dict[str, int] = field(default_factory=dict)
     #: Interval-index counters summed over all partitions (empty unless the
@@ -143,6 +148,7 @@ class MetricsReport:
     def to_dict(self) -> Dict[str, object]:
         document = self.deterministic_view()
         document["backend"] = self.backend
+        document["backend_workers"] = self.backend_workers
         document["seconds"] = round(self.seconds, 3)
         if self.latency:
             document["latency"] = dict(self.latency)
@@ -156,7 +162,8 @@ class MetricsReport:
 class ScenarioDriver:
     """Build the runtime for a spec, replay its trace, measure everything.
 
-    The driver is a context manager (it owns the runtime's worker threads)::
+    The driver is a context manager (it owns the runtime's worker threads —
+    and, under the process backend, its forked worker processes)::
 
         with ScenarioDriver(profiles.smoke()) as driver:
             report = driver.run()
@@ -164,6 +171,15 @@ class ScenarioDriver:
     The materialised churn trace is available as ``driver.trace`` before
     :meth:`run` is called, and the live runtime as ``driver.runtime`` — the
     equivalence harnesses use both to replay one trace onto many runtimes.
+    Runtime configuration comes entirely from ``spec.knobs``
+    (:class:`~repro.workloads.spec.RuntimeKnobs`), whose fields map onto
+    :class:`~repro.engine.runtime.NetTrailsRuntime` constructor knobs — that
+    class docstring holds the canonical knob and ``NETTRAILS_*``
+    environment-hook table.  The emitted
+    :class:`MetricsReport` records backend identity (``backend``,
+    ``backend_workers``) for the artifact trail but excludes it from
+    :meth:`MetricsReport.deterministic_view`, because every backend must
+    reproduce the same counters bit for bit.
     """
 
     def __init__(self, spec: ScenarioSpec):
@@ -322,6 +338,7 @@ class ScenarioDriver:
             scenario=self.spec.name,
             seed=self.spec.seed,
             backend=self.runtime.backend.name,
+            backend_workers=getattr(self.runtime.backend, "workers", 1),
             batch_size=self.spec.batch_size,
             nodes=self._initial_nodes,
             edges=self._initial_edges,

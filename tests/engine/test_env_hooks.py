@@ -1,9 +1,9 @@
 """One parameterized parity suite for every ``NETTRAILS_*`` environment hook.
 
-The engine exposes four construction-time knobs through the environment —
-``NETTRAILS_BACKEND``, ``NETTRAILS_QUERY_CACHE_CAPACITY``,
-``NETTRAILS_INTERVAL_INDEX`` and ``NETTRAILS_DURABLE_DIR`` — and they all
-promise the same contract:
+The engine exposes five construction-time knobs through the environment —
+``NETTRAILS_BACKEND``, ``NETTRAILS_BACKEND_WORKERS``,
+``NETTRAILS_QUERY_CACHE_CAPACITY``, ``NETTRAILS_INTERVAL_INDEX`` and
+``NETTRAILS_DURABLE_DIR`` — and they all promise the same contract:
 
 * unset or empty/whitespace value ⇒ the built-in default, silently;
 * a well-formed value ⇒ applied to every runtime built afterwards;
@@ -28,7 +28,11 @@ from repro.engine.runtime import (
     INTERVAL_INDEX_ENV_VAR,
     NetTrailsRuntime,
 )
-from repro.engine.backends import BACKEND_ENV_VAR
+from repro.engine.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_WORKERS_ENV_VAR,
+    default_worker_count,
+)
 from repro.errors import EngineError
 from repro.protocols import mincost
 
@@ -38,7 +42,9 @@ def build_runtime(**kwargs):
 
 
 #: hook -> (a valid value, an observation of the applied default/value,
-#: malformed values that must raise at construction)
+#: malformed values that must raise at construction, and extra runtime
+#: kwargs some hooks need to be observable — e.g. the worker-count hook is
+#: only visible on a concurrent backend, since serial pins workers to 1)
 HOOKS = {
     BACKEND_ENV_VAR: {
         "valid": "thread",
@@ -46,6 +52,14 @@ HOOKS = {
         "expect": "thread",
         "default": "serial",
         "malformed": ["bogus-backend"],
+    },
+    BACKEND_WORKERS_ENV_VAR: {
+        "valid": "3",
+        "observe": lambda runtime: runtime.backend.workers,
+        "expect": 3,
+        "default": default_worker_count(),
+        "malformed": ["lots", "0", "-2", "2.5"],
+        "kwargs": {"backend": "thread"},
     },
     CACHE_CAPACITY_ENV_VAR: {
         "valid": "17",
@@ -74,6 +88,7 @@ def clean_hooks(monkeypatch):
     """Every test starts with no NETTRAILS_* hooks exported."""
     for var in (
         BACKEND_ENV_VAR,
+        BACKEND_WORKERS_ENV_VAR,
         CACHE_CAPACITY_ENV_VAR,
         INTERVAL_INDEX_ENV_VAR,
         DURABLE_DIR_ENV_VAR,
@@ -85,7 +100,7 @@ class TestHookParity:
     @pytest.mark.parametrize("var,spec", hook_cases("valid"))
     def test_valid_value_applies(self, monkeypatch, var, spec):
         monkeypatch.setenv(var, spec["valid"])
-        with build_runtime() as runtime:
+        with build_runtime(**spec.get("kwargs", {})) as runtime:
             assert spec["observe"](runtime) == spec["expect"]
 
     @pytest.mark.parametrize("var,spec", hook_cases("default"))
@@ -93,7 +108,7 @@ class TestHookParity:
     def test_unset_and_empty_mean_default(self, monkeypatch, var, spec, raw):
         if raw is not None:
             monkeypatch.setenv(var, raw)
-        with build_runtime() as runtime:
+        with build_runtime(**spec.get("kwargs", {})) as runtime:
             assert spec["observe"](runtime) == spec["default"]
 
     @pytest.mark.parametrize("var,spec", hook_cases("malformed"))
@@ -101,10 +116,11 @@ class TestHookParity:
         for bad in spec["malformed"]:
             monkeypatch.setenv(var, bad)
             with pytest.raises(EngineError):
-                build_runtime()
+                build_runtime(**spec.get("kwargs", {}))
 
     def test_explicit_argument_beats_hook(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "thread")
+        monkeypatch.setenv(BACKEND_WORKERS_ENV_VAR, "7")
         monkeypatch.setenv(CACHE_CAPACITY_ENV_VAR, "17")
         monkeypatch.setenv(INTERVAL_INDEX_ENV_VAR, "1")
         with build_runtime(
@@ -113,6 +129,22 @@ class TestHookParity:
             assert runtime.backend.name == "serial"
             assert runtime.query_cache_capacity == 5
             assert runtime.use_interval_index is False
+
+    def test_explicit_backend_workers_beats_hook(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_WORKERS_ENV_VAR, "7")
+        with build_runtime(backend="thread", backend_workers=2) as runtime:
+            assert runtime.backend.workers == 2
+
+    def test_process_backend_via_hook(self, monkeypatch):
+        """NETTRAILS_BACKEND=process builds (and runs) the process backend,
+        and NETTRAILS_BACKEND_WORKERS sizes its forked worker pool."""
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        monkeypatch.setenv(BACKEND_WORKERS_ENV_VAR, "2")
+        with build_runtime() as runtime:
+            assert runtime.backend.name == "process"
+            assert runtime.backend.workers == 2
+            runtime.seed_links(run=True)
+            assert runtime.state("minCost")
 
 
 class TestDurableDirHook:

@@ -9,8 +9,11 @@ message counts, simulator event/round counts and distributed query answers.
 This harness reuses the sharding suite's seeded churn-script generator
 (:mod:`test_property_sharding`) and replays each script on a serial-backend
 baseline and on every backend × shard-count variant of the acceptance matrix
-— backends {serial, thread, asyncio} × shards {1, 4} — asserting equality
-after *every* churn step.  Like its sibling it honours
+— backends {serial, thread, asyncio, process} × shards {1, 4} — asserting
+equality after *every* churn step.  The process-backend legs additionally
+prove the cross-process drain protocol (worker-side evaluation, trace
+mirroring, stateless tag recomputation — see :mod:`repro.engine.procpool`)
+observable-identical to in-process execution.  Like its sibling it honours
 ``NETTRAILS_CHURN_SEED`` for reproducible randomized CI runs; additionally,
 the whole property suite runs under each backend in CI via the
 ``NETTRAILS_BACKEND`` matrix, which exercises every *other* equivalence
@@ -23,7 +26,12 @@ from contextlib import ExitStack
 
 import pytest
 
-from repro.engine.backends import AsyncioBackend, SerialBackend, ThreadPoolBackend
+from repro.engine.backends import (
+    AsyncioBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+)
 from test_property_sharding import (
     SEEDS,
     TOPOLOGIES,
@@ -35,9 +43,10 @@ from test_property_sharding import (
 from repro.protocols import mincost
 
 #: The acceptance matrix: every backend × shard count compared per-step
-#: against the serial unsharded baseline.  Thread/asyncio variants use two
-#: workers so waves genuinely overlap; the sharded variants stack store
-#: sharding on top of backend concurrency (nested parallelism).
+#: against the serial unsharded baseline.  Thread/asyncio/process variants
+#: use two workers so waves genuinely overlap; the sharded variants stack
+#: store sharding on top of backend concurrency (nested parallelism — and,
+#: for the process backend, shard threads inside each forked worker).
 BACKEND_VARIANTS = [
     ("serial", 1),
     ("serial", 4),
@@ -45,17 +54,20 @@ BACKEND_VARIANTS = [
     ("thread", 4),
     ("asyncio", 1),
     ("asyncio", 4),
+    ("process", 1),
+    ("process", 4),
 ]
 
 BACKEND_TYPES = {
     "serial": SerialBackend,
     "thread": ThreadPoolBackend,
     "asyncio": AsyncioBackend,
+    "process": ProcessPoolBackend,
 }
 
 
-def build_variant(net, backend, num_shards):
-    kwargs = {"backend": backend, "backend_workers": None if backend == "serial" else 2}
+def build_variant(net, backend, num_shards, workers=2):
+    kwargs = {"backend": backend, "backend_workers": None if backend == "serial" else workers}
     if num_shards > 1:
         kwargs.update(num_shards=num_shards, shard_workers=2)
     return build_runtime(mincost.program(), net, **kwargs)
@@ -140,8 +152,45 @@ class TestBackendChurnEquivalence:
         with ExitStack() as stack:
             serial = stack.enter_context(build_runtime(mincost.program(), net, backend="serial"))
             expected = query_stats(serial)
-            for backend in ("thread", "asyncio"):
+            for backend in ("thread", "asyncio", "process"):
                 runtime = stack.enter_context(
                     build_runtime(mincost.program(), net, backend=backend, backend_workers=4)
                 )
                 assert query_stats(runtime) == expected, f"backend={backend} seed={seed}"
+
+
+@pytest.mark.slow
+class TestProcessWorkerSweep:
+    """Exhaustive process-backend leg: every worker count must be identical.
+
+    The fast matrix above pins the process backend at two workers; this
+    slow-marked sweep (run by the CI property matrix, excluded from tier-1
+    by the ``-m "not slow"`` addopts) replays the full churn scripts at
+    worker counts {1, 2, 4} so the node→worker assignment, the per-worker
+    request serialization and the trace merge are each exercised at a
+    different process-parallelism shape.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4], ids=lambda w: f"workers{w}")
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_worker_counts_identical(
+        self, workers, seed, global_state, provenance_fingerprint, store_snapshots
+    ):
+        net = TOPOLOGIES["as-level"]()
+        script = generate_churn_script(seed, net)
+        context = f"workers={workers} seed={seed} (NETTRAILS_CHURN_SEED={seed})"
+
+        with ExitStack() as stack:
+            baseline = stack.enter_context(build_runtime(mincost.program(), net, backend="serial"))
+            variant = stack.enter_context(build_variant(net, "process", 4, workers=workers))
+            for step, op in enumerate(script):
+                apply_op(baseline, op)
+                apply_op(variant, op)
+                where = f"{context} step={step} op={op}"
+                assert store_snapshots(variant) == store_snapshots(baseline), where
+                assert provenance_fingerprint(variant) == provenance_fingerprint(baseline), where
+                assert variant.provenance.versions() == baseline.provenance.versions(), where
+                assert observable_counts(variant) == observable_counts(baseline), where
+            expected_state = global_state(baseline, ["link", "path", "minCost"])
+            assert global_state(variant, ["link", "path", "minCost"]) == expected_state, context
+            assert lineage_answers(variant, "minCost") == lineage_answers(baseline, "minCost"), context
