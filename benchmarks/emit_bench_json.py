@@ -20,7 +20,12 @@ Runs compact, deterministic versions of the headline experiments —
   ``tests/property/test_property_recovery.py``),
 * **E18** the process-pool backend (forked-worker drains at 1/2/4 workers
   vs serial on the stall-dominated E13 profile; the ≥1.8x speedup gate and
-  the compute-bound multicore leg stay in ``test_e18_process.py``) —
+  the compute-bound multicore leg stay in ``test_e18_process.py``),
+* **E19** the columnar join core (interned columnar store + compiled batch
+  join vs the dict-of-sets reference on a compact hierarchy, and the
+  process backend's delta-encoded drain traces vs raw pickling; the
+  ≥1.25x single-core gate on the 1010-node scale profile stays in
+  ``test_e19_columnar.py``) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -68,6 +73,7 @@ from test_e17_durability import (  # noqa: E402
     run_wal_overhead,
 )
 from test_e18_process import WORKER_COUNTS, run_scale_churn  # noqa: E402
+from test_e19_columnar import bytes_per_drain, run_columnar_ratio, run_trace_bytes  # noqa: E402
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -300,6 +306,53 @@ def collect_metrics() -> dict:
         metrics[f"e18.process_w{workers}.speedup"] = _metric(
             round(e18_serial["seconds"] / run["seconds"], 2), gate=False
         )
+
+    # E19 — columnar join core + delta-encoded drain traces.  Part A runs
+    # the churn profile on a compact hierarchy (the 1010-node scale gate
+    # stays in the pytest benchmark): counters are deterministic and gated,
+    # with the hard invariant that columnar and dict modes converge to the
+    # identical observable surface; CPU seconds and the speedup are recorded
+    # ungated.  Part B gates the drain count (deterministic — one trace per
+    # remote drain whatever the encoding) and records byte totals ungated:
+    # envelope packing depends on which wave threads coalesce, so byte
+    # counts wobble a little run to run.  The reduction invariant uses a
+    # wider margin than the pytest gate for the same reason.
+    e19 = run_columnar_ratio(reps=2, dims=(4, 4, 4), prefixes=16)
+    if e19["columnar_surface"] != e19["dict_surface"]:
+        raise SystemExit(
+            "E19 invariant violated: columnar mode changed the observable "
+            f"surface ({e19['columnar_surface']} vs {e19['dict_surface']})"
+        )
+    metrics["e19.messages"] = _metric(e19["dict_surface"]["messages"])
+    metrics["e19.events"] = _metric(e19["dict_surface"]["events"])
+    metrics["e19.rounds"] = _metric(e19["dict_surface"]["rounds"])
+    metrics["e19.dict.cpu_seconds"] = _metric(round(e19["dict_min"], 3), gate=False)
+    metrics["e19.columnar.cpu_seconds"] = _metric(
+        round(e19["columnar_min"], 3), gate=False
+    )
+    metrics["e19.columnar.speedup"] = _metric(
+        round(e19["min_speedup"], 2), gate=False
+    )
+    delta_stats, delta_snapshot = run_trace_bytes(trace_delta=True)
+    raw_stats, raw_snapshot = run_trace_bytes(trace_delta=False)
+    if delta_snapshot != raw_snapshot:
+        raise SystemExit(
+            "E19 invariant violated: trace_delta changed the converged snapshot"
+        )
+    reduction = 1.0 - bytes_per_drain(delta_stats) / bytes_per_drain(raw_stats)
+    if reduction < 0.25:
+        raise SystemExit(
+            "E19 invariant violated: delta-encoded traces save only "
+            f"{reduction:.1%} bytes per drain (floor: 25%)"
+        )
+    metrics["e19.trace.drains"] = _metric(delta_stats["drains"])
+    metrics["e19.trace.delta_bytes_per_drain"] = _metric(
+        round(bytes_per_drain(delta_stats), 1), gate=False
+    )
+    metrics["e19.trace.raw_bytes_per_drain"] = _metric(
+        round(bytes_per_drain(raw_stats), 1), gate=False
+    )
+    metrics["e19.trace.reduction"] = _metric(round(reduction, 3), gate=False)
     return metrics
 
 

@@ -311,6 +311,103 @@ class AsyncioBackend(_ConcurrentBackend):
             self._pool = None
 
 
+class _WorkerChannel:
+    """One worker pipe: request coalescing, delta codec and byte accounting.
+
+    Coordinator threads that want a drain enqueue ``(node_id, updates)`` and
+    then contend for the pipe lock.  The first thread in becomes the
+    **leader**: it snapshots everything queued so far — its own request plus
+    any that piled up behind the in-flight round-trip — ships them to the
+    worker as a single envelope, and distributes the per-drain traces back.
+    A thread that finds its request already served by an earlier leader
+    returns immediately.  Same-worker drains of a wave therefore collapse
+    into one pipe round-trip (two pickles, two wakeups) instead of one each,
+    and the shared :class:`~repro.engine.procpool.TraceCodec` tables stay in
+    lockstep because every encode/decode happens under the pipe lock in
+    envelope order.
+    """
+
+    def __init__(self, process, conn, trace_delta: bool):
+        import threading
+
+        self.process = process
+        self.conn = conn
+        self.trace_delta = trace_delta
+        self._codec = None
+        self._pipe_lock = threading.Lock()
+        self._queue_lock = threading.Lock()
+        self._pending: List[list] = []  # [node_id, updates, result, error, done]
+        # Transport statistics (reads are snapshots; mutated under _pipe_lock).
+        self.request_bytes = 0
+        self.reply_bytes = 0
+        self.envelopes = 0
+        self.drains = 0
+
+    def request(self, node_id: object, updates: List) -> List[tuple]:
+        """Ship one drain request, possibly riding another thread's envelope."""
+        entry = [node_id, updates, None, None, False]
+        with self._queue_lock:
+            self._pending.append(entry)
+        with self._pipe_lock:
+            if not entry[4]:
+                with self._queue_lock:
+                    batch, self._pending = self._pending, []
+                self._round_trip(batch)
+        if entry[3] is not None:
+            raise EngineError(entry[3])
+        return entry[2]
+
+    def _round_trip(self, batch: List[list]) -> None:
+        from repro.engine.procpool import TraceCodec, dump_envelope, load_envelope
+
+        if self.trace_delta:
+            if self._codec is None:
+                self._codec = TraceCodec()
+            codec = self._codec
+            items = [
+                (codec._enc_str(entry[0]), codec.encode_updates(entry[1]))
+                for entry in batch
+            ]
+            envelope = ("drains", items)
+        else:
+            envelope = ("raw", [(entry[0], entry[1]) for entry in batch])
+        blob = dump_envelope(envelope)
+        try:
+            self.conn.send_bytes(blob)
+            reply_blob = self.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            message = (
+                f"process backend worker (pid {self.process.pid}) died while "
+                f"draining nodes {[entry[0] for entry in batch]!r}; the in-flight "
+                "wave is lost — rebuild the runtime (durable mode replays the WAL)"
+            )
+            for entry in batch:
+                entry[3] = message
+                entry[4] = True
+            raise EngineError(message) from exc
+        self.request_bytes += len(blob)
+        self.reply_bytes += len(reply_blob)
+        self.envelopes += 1
+        self.drains += len(batch)
+        status, payload = load_envelope(reply_blob)
+        if status != "ok":
+            message = (
+                f"process backend worker (pid {self.process.pid}) failed draining "
+                f"nodes {[entry[0] for entry in batch]!r}: {payload}"
+            )
+            for entry in batch:
+                entry[3] = message
+                entry[4] = True
+            raise EngineError(message)
+        if self.trace_delta:
+            traces = [self._codec.decode_trace(trace_enc) for trace_enc in payload]
+        else:
+            traces = payload
+        for entry, trace in zip(batch, traces):
+            entry[2] = trace
+            entry[4] = True
+
+
 class ProcessPoolBackend(ThreadPoolBackend):
     """True multi-core execution: forked worker processes own node drains.
 
@@ -331,8 +428,10 @@ class ProcessPoolBackend(ThreadPoolBackend):
     drain happens in the worker process while the coordinator thread merely
     blocks on the pipe (releasing the GIL) — which is what lets distinct
     nodes' drains use distinct cores.  Requests to the same worker are
-    serialized by a per-worker lock; the deferred side-effect merge is
-    byte-for-byte the thread backend's.
+    serialized by the per-worker channel, which coalesces every drain queued
+    behind an in-flight round-trip into one envelope and delta-encodes the
+    payloads (see :class:`_WorkerChannel` and ``trace_delta``); the deferred
+    side-effect merge is byte-for-byte the thread backend's.
 
     If a worker process dies (killed, OOM, crashed), the next drain request
     routed to it raises :class:`~repro.errors.EngineError` loudly — the
@@ -344,11 +443,17 @@ class ProcessPoolBackend(ThreadPoolBackend):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None, seed: int = 0):
+    def __init__(self, workers: Optional[int] = None, seed: int = 0, trace_delta: bool = True):
         super().__init__(workers)
         #: Seed of the node→worker assignment hash (stable across runs).
         self.seed = seed
-        self._handles: List[tuple] = []  # (process, pipe connection, request lock)
+        #: When True (the default), drain requests and traces travel
+        #: delta-encoded through a per-pipe :class:`~repro.engine.procpool.TraceCodec`
+        #: and same-worker drains of a wave coalesce into one envelope.
+        #: ``False`` is the ablation: plain pickled payloads (coalescing
+        #: still applies — the knob isolates the codec's byte savings).
+        self.trace_delta = trace_delta
+        self._channels: List[_WorkerChannel] = []
         self._assignment: Dict[object, int] = {}
         self._attached = False
 
@@ -372,7 +477,6 @@ class ProcessPoolBackend(ThreadPoolBackend):
 
     def attach(self, runtime: object) -> None:
         import multiprocessing as mp
-        import threading
 
         if self._attached:
             raise EngineError(
@@ -405,7 +509,7 @@ class ProcessPoolBackend(ThreadPoolBackend):
             )
             process.start()
             child_conn.close()
-            self._handles.append((process, parent_conn, threading.Lock()))
+            self._channels.append(_WorkerChannel(process, parent_conn, self.trace_delta))
         for node_id, node in nodes.items():
             node._remote_drain = self._make_remote_drain(self._assignment[node_id])
 
@@ -415,41 +519,41 @@ class ProcessPoolBackend(ThreadPoolBackend):
             node._queue.clear()
             if not updates:
                 return
-            trace = self._request(index, node.id, updates)
+            trace = self._channels[index].request(node.id, updates)
             node._mirror_trace(trace)
 
         return remote_drain
 
-    def _request(self, index: int, node_id: object, updates: List) -> List[tuple]:
-        process, conn, lock = self._handles[index]
-        with lock:
-            try:
-                conn.send((node_id, updates))
-                status, payload = conn.recv()
-            except (EOFError, OSError) as exc:
-                raise EngineError(
-                    f"process backend worker {index} (pid {process.pid}) died while "
-                    f"draining node {node_id!r}; the in-flight wave is lost — "
-                    "rebuild the runtime (durable mode replays the WAL)"
-                ) from exc
-        if status != "ok":
-            raise EngineError(
-                f"process backend worker {index} failed draining node {node_id!r}: {payload}"
-            )
-        return payload
+    def transport_stats(self) -> Dict[str, int]:
+        """Aggregate pipe-transport statistics across all worker channels.
+
+        ``drains`` counts drain requests, ``envelopes`` the pipe round-trips
+        they were packed into (coalescing makes ``envelopes <= drains``);
+        ``request_bytes`` / ``reply_bytes`` are the pickled envelope sizes in
+        each direction.
+        """
+        stats = {"drains": 0, "envelopes": 0, "request_bytes": 0, "reply_bytes": 0}
+        for channel in self._channels:
+            stats["drains"] += channel.drains
+            stats["envelopes"] += channel.envelopes
+            stats["request_bytes"] += channel.request_bytes
+            stats["reply_bytes"] += channel.reply_bytes
+        return stats
 
     def close(self) -> None:
-        handles, self._handles = self._handles, []
-        for process, conn, _lock in handles:
+        from repro.engine.procpool import dump_envelope
+
+        channels, self._channels = self._channels, []
+        for channel in channels:
             try:
-                conn.send(None)
+                channel.conn.send_bytes(dump_envelope(None))
             except OSError:  # worker already gone / pipe closed
                 pass
-            conn.close()
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - stuck worker backstop
-                process.terminate()
-                process.join(timeout=1.0)
+            channel.conn.close()
+            channel.process.join(timeout=5.0)
+            if channel.process.is_alive():  # pragma: no cover - stuck worker backstop
+                channel.process.terminate()
+                channel.process.join(timeout=1.0)
         super().close()
 
 

@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.engine.tuples import Fact
+from repro.engine.tuples import SLOTTED, Fact
 
 _message_counter = itertools.count(1)
 
@@ -25,7 +25,7 @@ CATEGORY_SNAPSHOT = "snapshot"
 CATEGORY_CONTROL = "control"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class ProvenanceTag:
     """Provenance annotation carried by a tuple-delta message.
 
@@ -40,8 +40,18 @@ class ProvenanceTag:
     exec_node: object
     rid: str
 
+    def __repr__(self) -> str:
+        # Byte-identical to the dataclass-generated repr, minus its
+        # recursion-guard wrapper: message size accounting reprs every
+        # shipped payload, so the guard shows up on the hot path.
+        return (
+            f"{self.__class__.__qualname__}(rule_name={self.rule_name!r}, "
+            f"program_name={self.program_name!r}, exec_node={self.exec_node!r}, "
+            f"rid={self.rid!r})"
+        )
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **SLOTTED)
 class TupleDelta:
     """Payload announcing the insertion (+1) or retraction (-1) of a derivation."""
 
@@ -54,8 +64,17 @@ class TupleDelta:
         symbol = "+" if self.sign > 0 else "-"
         return f"{symbol}{self.fact} [{self.derivation_id}]"
 
+    def __repr__(self) -> str:
+        # See ProvenanceTag.__repr__: same bytes as the dataclass repr,
+        # without the per-call recursion-guard wrapper.
+        return (
+            f"{self.__class__.__qualname__}(sign={self.sign!r}, "
+            f"fact={self.fact!r}, derivation_id={self.derivation_id!r}, "
+            f"provenance={self.provenance!r})"
+        )
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **SLOTTED)
 class TupleDeltaBatch:
     """A batch of tuple deltas shipped to one destination in a single message.
 
@@ -73,6 +92,11 @@ class TupleDeltaBatch:
 
     def __str__(self) -> str:
         return f"batch[{', '.join(str(delta) for delta in self.deltas)}]"
+
+    def __repr__(self) -> str:
+        # See ProvenanceTag.__repr__: same bytes as the dataclass repr,
+        # without the per-call recursion-guard wrapper.
+        return f"{self.__class__.__qualname__}(deltas={self.deltas!r})"
 
 
 @dataclass(frozen=True)

@@ -41,12 +41,13 @@ from repro.engine.messages import (
 from repro.engine.network import Network
 from repro.engine.store import (
     BASE_DERIVATION,
+    ColumnarTupleStore,
     SerialShardExecutor,
     ShardedTupleStore,
     ThreadShardExecutor,
     TupleStore,
 )
-from repro.engine.tuples import Fact
+from repro.engine.tuples import SLOTTED, Fact
 
 
 @dataclass
@@ -67,7 +68,7 @@ class NodeStats:
     messages_sent: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class _PendingUpdate:
     sign: int
     fact: Fact
@@ -89,6 +90,7 @@ class Node:
         num_shards: Optional[int] = None,
         shard_workers: int = 0,
         batch_commit_stall_s: float = 0.0,
+        columnar: bool = False,
     ):
         self.id = node_id
         self.compiled = compiled
@@ -111,8 +113,13 @@ class Node:
         self._shard_executor = (
             ThreadShardExecutor(shard_workers) if shard_workers > 1 else SerialShardExecutor()
         )
+        #: Dictionary-encoded columnar store representation (see
+        #: :class:`~repro.engine.store.ColumnarTupleStore`); the evaluator's
+        #: batch join then runs its compiled slot programs over interned id
+        #: arrays.  ``False`` keeps the dict-based reference representation.
+        self.columnar = columnar
         if num_shards is None:
-            self.store = TupleStore()
+            self.store = ColumnarTupleStore() if columnar else TupleStore()
         else:
             catalog = compiled.catalog
 
@@ -121,7 +128,7 @@ class Node:
                 return key if key else fact.values
 
             self.store = ShardedTupleStore(
-                num_shards, key_fn=shard_key, executor=self._shard_executor
+                num_shards, key_fn=shard_key, executor=self._shard_executor, columnar=columnar
             )
         self.evaluator = LocalEvaluator(
             compiled,

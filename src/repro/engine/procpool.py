@@ -33,15 +33,18 @@ trace (a cheap cross-process divergence detector).
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+import pickle
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.keys import rid_for, vid_for
+from repro.engine.evaluator import DerivationEffect
 from repro.engine.messages import ProvenanceTag
+from repro.engine.node import _PendingUpdate
+from repro.engine.tuples import Fact
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
 
-    from repro.engine.evaluator import DerivationEffect
     from repro.engine.node import Node
 
 
@@ -91,6 +94,197 @@ class TagRecorder:
         ]
 
 
+# ---------------------------------------------------------------------------
+# Delta-encoded drain traces
+# ---------------------------------------------------------------------------
+
+
+class TraceCodec:
+    """Stateful delta encoding for one direction-pair of a worker pipe.
+
+    Drain requests and traces ship the same facts over and over — churn
+    toggles the same links, which re-derive the same routes every round — so
+    both pipe ends keep a session-lifetime interning table: the first time a
+    fact (or a hot string: rule name, node id) crosses the pipe it travels
+    inline and both sides append it to their table; every later occurrence
+    travels as a small integer index.
+
+    The two tables stay in lockstep because pipe traffic strictly alternates
+    under the channel lock: the coordinator encodes a request envelope, the
+    worker decodes it (registering the same new entries in the same order),
+    the worker encodes the reply, the coordinator decodes it.  Each side owns
+    one codec per pipe and uses it for both encoding and decoding, so the
+    shared id space never forks.
+
+    The encoding is value-keyed, which is what makes it beat pickle's
+    identity memo: pickle dedups repeated *objects* within one message, the
+    codec dedups equal facts across every drain of the session (and across
+    the distinct-instance facts a dict-mode store produces).
+    """
+
+    def __init__(self) -> None:
+        self._fact_ids: Dict[Fact, int] = {}
+        self._facts: List[Fact] = []
+        self._string_ids: Dict[str, int] = {}
+        self._strings: List[str] = []
+
+    # -- scalar encoders ------------------------------------------------------
+
+    def _enc_fact(self, fact: Fact) -> object:
+        fid = self._fact_ids.get(fact)
+        if fid is not None:
+            return fid
+        self._fact_ids[fact] = len(self._facts)
+        self._facts.append(fact)
+        return (fact.relation, fact.values)
+
+    def _dec_fact(self, ref: object) -> Fact:
+        if type(ref) is int:
+            return self._facts[ref]
+        relation, values = ref
+        fact = Fact(relation, values)
+        self._fact_ids[fact] = len(self._facts)
+        self._facts.append(fact)
+        return fact
+
+    def _enc_str(self, value: object) -> object:
+        """Intern strings; anything else passes through under a raw marker."""
+        if type(value) is not str:
+            return ("!", value)
+        sid = self._string_ids.get(value)
+        if sid is not None:
+            return sid
+        self._string_ids[value] = len(self._strings)
+        self._strings.append(value)
+        return value
+
+    def _dec_str(self, ref: object) -> object:
+        if type(ref) is int:
+            return self._strings[ref]
+        if type(ref) is tuple:
+            return ref[1]
+        self._string_ids[ref] = len(self._strings)
+        self._strings.append(ref)
+        return ref
+
+    # -- composite encoders ---------------------------------------------------
+
+    def _enc_tag(self, tag: Optional[ProvenanceTag]) -> object:
+        if tag is None:
+            return None
+        return (
+            self._enc_str(tag.rule_name),
+            self._enc_str(tag.program_name),
+            self._enc_str(tag.exec_node),
+            tag.rid,
+        )
+
+    def _dec_tag(self, ref: object) -> Optional[ProvenanceTag]:
+        if ref is None:
+            return None
+        rule_ref, prog_ref, exec_ref, rid = ref
+        return ProvenanceTag(
+            rule_name=self._dec_str(rule_ref),
+            program_name=self._dec_str(prog_ref),
+            exec_node=self._dec_str(exec_ref),
+            rid=rid,
+        )
+
+    def _enc_update(self, update: "_PendingUpdate") -> tuple:
+        return (
+            update.sign,
+            self._enc_fact(update.fact),
+            update.derivation_id,
+            self._enc_tag(update.tag),
+        )
+
+    def _dec_update(self, enc: tuple) -> "_PendingUpdate":
+        sign, fact_ref, derivation_id, tag_ref = enc
+        return _PendingUpdate(
+            sign, self._dec_fact(fact_ref), derivation_id, self._dec_tag(tag_ref)
+        )
+
+    def _enc_effect(self, effect: DerivationEffect) -> tuple:
+        return (
+            effect.sign,
+            effect.firing_id,
+            self._enc_str(effect.rule_name),
+            self._enc_str(effect.program_name),
+            self._enc_fact(effect.head_fact),
+            self._enc_str(effect.head_location),
+            tuple(self._enc_fact(fact) for fact in effect.body_facts),
+        )
+
+    def _dec_effect(self, enc: tuple) -> DerivationEffect:
+        sign, firing_id, rule_ref, prog_ref, head_ref, location_ref, body_refs = enc
+        return DerivationEffect(
+            sign=sign,
+            firing_id=firing_id,
+            rule_name=self._dec_str(rule_ref),
+            program_name=self._dec_str(prog_ref),
+            head_fact=self._dec_fact(head_ref),
+            head_location=self._dec_str(location_ref),
+            body_facts=tuple(self._dec_fact(ref) for ref in body_refs),
+        )
+
+    # -- public surface -------------------------------------------------------
+
+    def encode_updates(self, updates: Sequence["_PendingUpdate"]) -> List[tuple]:
+        return [self._enc_update(update) for update in updates]
+
+    def decode_updates(self, encoded: Sequence[tuple]) -> List["_PendingUpdate"]:
+        return [self._dec_update(enc) for enc in encoded]
+
+    def encode_trace(self, trace: Sequence[tuple]) -> List[tuple]:
+        encoded: List[tuple] = []
+        for entry in trace:
+            kind = entry[0]
+            if kind == "batch":
+                encoded.append(("batch", self.encode_updates(entry[1])))
+            elif kind == "single":
+                encoded.append(("single", self._enc_update(entry[1])))
+            elif kind == "effects":
+                encoded.append(
+                    (
+                        "effects",
+                        [self._enc_effect(effect) for effect in entry[1]],
+                        [self._enc_tag(tag) for tag in entry[2]],
+                    )
+                )
+            else:  # pragma: no cover - new trace kinds must extend the codec
+                raise ValueError(f"unknown trace entry kind {kind!r}")
+        return encoded
+
+    def decode_trace(self, encoded: Sequence[tuple]) -> List[tuple]:
+        trace: List[tuple] = []
+        for entry in encoded:
+            kind = entry[0]
+            if kind == "batch":
+                trace.append(("batch", self.decode_updates(entry[1])))
+            elif kind == "single":
+                trace.append(("single", self._dec_update(entry[1])))
+            elif kind == "effects":
+                trace.append(
+                    (
+                        "effects",
+                        [self._dec_effect(enc) for enc in entry[1]],
+                        [self._dec_tag(ref) for ref in entry[2]],
+                    )
+                )
+            else:  # pragma: no cover - symmetrical with encode_trace
+                raise ValueError(f"unknown trace entry kind {kind!r}")
+        return trace
+
+
+def dump_envelope(envelope: object) -> bytes:
+    """Serialise one pipe envelope (explicit so byte counts are observable)."""
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_envelope(blob: bytes) -> object:
+    return pickle.loads(blob)
+
+
 def bootstrap_worker(nodes: Dict[object, "Node"], owned_ids: Sequence[object]) -> Dict[object, "Node"]:
     """Prepare the forked copy of the runtime for serving drain requests.
 
@@ -115,31 +309,59 @@ def bootstrap_worker(nodes: Dict[object, "Node"], owned_ids: Sequence[object]) -
 
 
 def worker_main(conn: "Connection", nodes: Dict[object, "Node"], owned_ids: Sequence[object]) -> None:
-    """Serve drain requests until the coordinator sends the ``None`` sentinel.
+    """Serve drain envelopes until the coordinator sends the ``None`` sentinel.
 
-    Each request is ``(node_id, updates)``; the reply envelope is
-    ``("ok", trace)`` or ``("error", message)`` — the coordinator turns the
-    latter into an :class:`~repro.errors.EngineError`.  The worker exits via
-    :func:`os._exit` so the fork's inherited file buffers (WAL-less by
-    construction, but e.g. pytest's capture pipes) are never double-flushed.
+    Each request envelope carries every same-worker drain the coordinator
+    had queued when the pipe came free: ``("drains", [(node_id, updates),
+    ...])`` with codec-encoded updates, or ``("raw", ...)`` with plain
+    pickled updates (the ``trace_delta=False`` ablation).  The reply is
+    ``("ok", [trace, ...])`` — one trace per drain, in request order — or
+    ``("error", message)``, which the coordinator turns into an
+    :class:`~repro.errors.EngineError`.
+
+    Codec discipline: every request in the envelope is decoded *before* any
+    reply encoding starts, and traces are encoded in drain order — the
+    coordinator mirrors this exactly, which is what keeps the two interning
+    tables identical.  The worker exits via :func:`os._exit` so the fork's
+    inherited file buffers (WAL-less by construction, but e.g. pytest's
+    capture pipes) are never double-flushed.
     """
     owned = bootstrap_worker(nodes, owned_ids)
+    codec = TraceCodec()
+
+    def run_drain(node: "Node", updates: List["_PendingUpdate"]) -> List[tuple]:
+        node._queue.extend(updates)
+        node._trace = []
+        try:
+            node._drain()
+            return node._trace
+        finally:
+            node._trace = None
+
     try:
         while True:
-            request = conn.recv()
-            if request is None:
+            envelope = load_envelope(conn.recv_bytes())
+            if envelope is None:
                 break
-            node_id, updates = request
-            node = owned[node_id]
-            node._queue.extend(updates)
-            node._trace = []
+            kind, items = envelope
             try:
-                node._drain()
-                conn.send(("ok", node._trace))
+                if kind == "drains":
+                    requests = [
+                        (codec._dec_str(node_ref), codec.decode_updates(updates_enc))
+                        for node_ref, updates_enc in items
+                    ]
+                    traces = [
+                        codec.encode_trace(run_drain(owned[node_id], updates))
+                        for node_id, updates in requests
+                    ]
+                else:  # "raw": the trace_delta=False ablation path
+                    traces = [
+                        run_drain(owned[node_id], updates) for node_id, updates in items
+                    ]
+                reply: Tuple[str, object] = ("ok", traces)
             except Exception as exc:  # pragma: no cover - shipped to the coordinator
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
-            finally:
-                node._trace = None
+                reply = ("error", f"{type(exc).__name__}: {exc}")
+            conn.send_bytes(dump_envelope(reply))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - coordinator went away
         pass
     finally:

@@ -41,6 +41,14 @@ CACHE_CAPACITY_ENV_VAR = "NETTRAILS_QUERY_CACHE_CAPACITY"
 #: equivalence suite runs with the interval path on.
 INTERVAL_INDEX_ENV_VAR = "NETTRAILS_INTERVAL_INDEX"
 
+#: Environment variable consulted when ``columnar`` is not set explicitly: a
+#: boolean (``1/true/yes/on`` vs ``0/false/no/off``) selecting the
+#: dictionary-encoded columnar store and the evaluator's compiled columnar
+#: join (see :class:`repro.engine.store.ColumnarTupleStore`).  The CI
+#: property matrix exports it so the whole equivalence suite runs on both
+#: representations.
+COLUMNAR_ENV_VAR = "NETTRAILS_COLUMNAR"
+
 #: Environment variable consulted when ``durable_dir`` is not set explicitly
 #: (parity with the other ``NETTRAILS_*`` hooks): a directory path that turns
 #: on durable mode — every committed quiescence window is appended to a
@@ -110,6 +118,25 @@ def default_use_interval_index() -> bool:
     )
 
 
+def default_columnar() -> bool:
+    """The columnar-store default: the env hook, else ``False``.
+
+    A value that is neither a true-word nor a false-word raises
+    :class:`~repro.errors.EngineError` rather than being silently ignored.
+    """
+    raw = os.environ.get(COLUMNAR_ENV_VAR, "").strip().lower()
+    if not raw:
+        return False
+    if raw in _TRUE_WORDS:
+        return True
+    if raw in _FALSE_WORDS:
+        return False
+    raise EngineError(
+        f"{COLUMNAR_ENV_VAR}={raw!r} is not a boolean; use one of "
+        f"{_TRUE_WORDS + _FALSE_WORDS}"
+    )
+
+
 def default_query_cache_capacity() -> Optional[int]:
     """The capacity used when none is requested: the env hook, else ``None``.
 
@@ -170,6 +197,10 @@ class NetTrailsRuntime:
     ``num_shards`` (None)            hash-shard every node's store across K
                                      partitions
     ``shard_workers`` (0)            threads absorbing sharded sub-batches
+    ``columnar`` (None)              dictionary-encoded columnar stores +
+                                     compiled columnar batch joins (``None``
+                                     = env hook then off; the dict path is
+                                     the reference/ablation)
     ``backend`` (None)               execution backend: ``"serial"`` |
                                      ``"thread"`` | ``"asyncio"`` |
                                      ``"process"``, a constructed
@@ -203,6 +234,7 @@ class NetTrailsRuntime:
     ``NETTRAILS_BACKEND_WORKERS``    ``backend_workers`` (integer ≥ 1)
     ``NETTRAILS_QUERY_CACHE_CAPACITY`` ``query_cache_capacity`` (integer ≥ 0)
     ``NETTRAILS_INTERVAL_INDEX``     ``use_interval_index`` (boolean words)
+    ``NETTRAILS_COLUMNAR``           ``columnar`` (boolean words)
     ``NETTRAILS_DURABLE_DIR``        ``durable_dir`` (a writable path)
     ================================ ==========================================
 
@@ -238,6 +270,7 @@ class NetTrailsRuntime:
         batch_deltas: bool = True,
         num_shards: Optional[int] = None,
         shard_workers: int = 0,
+        columnar: Optional[bool] = None,
         backend: BackendSpec = None,
         backend_workers: Optional[int] = None,
         batch_commit_stall_s: float = 0.0,
@@ -294,6 +327,16 @@ class NetTrailsRuntime:
         #: provenance tables.
         self.num_shards = num_shards
         self.shard_workers = shard_workers
+        #: Store/join representation (see
+        #: :class:`repro.engine.store.ColumnarTupleStore`): ``True`` interns
+        #: every fact into dense per-relation ids, keeps secondary indexes as
+        #: sorted id arrays and runs the evaluator's batch joins as compiled
+        #: slot programs over them.  ``None`` consults ``NETTRAILS_COLUMNAR``
+        #: (parity with ``NETTRAILS_BACKEND``); the default dict-based path
+        #: is the reference every columnar run must match bit-for-bit.
+        if columnar is None:
+            columnar = default_columnar()
+        self.columnar = bool(columnar)
         #: Per-node provenance-query-cache capacity consumed by
         #: :class:`repro.core.query.DistributedQueryEngine`: ``None`` keeps
         #: the engine default (:data:`repro.core.optimizations.DEFAULT_CACHE_CAPACITY`),
@@ -331,6 +374,7 @@ class NetTrailsRuntime:
                 num_shards=num_shards,
                 shard_workers=shard_workers,
                 batch_commit_stall_s=batch_commit_stall_s,
+                columnar=self.columnar,
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
@@ -405,6 +449,7 @@ class NetTrailsRuntime:
             "batch_deltas": self.batch_deltas,
             "num_shards": self.num_shards,
             "shard_workers": self.shard_workers,
+            "columnar": self.columnar,
             "batch_commit_stall_s": self._batch_commit_stall_s,
             "query_cache_capacity": self.query_cache_capacity,
             "use_interval_index": self.use_interval_index,

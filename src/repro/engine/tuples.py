@@ -11,10 +11,19 @@ runtime uses for key-based overwrite semantics on base relations.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.errors import SchemaError
+
+#: ``dataclass(**SLOTTED)`` makes hot dataclasses ``__slots__``-backed where
+#: the interpreter supports it (3.10+).  Slots shrink the per-instance
+#: footprint and take the objects' ``__dict__``s off the GC's plate, which
+#: is a measurable share of the join inner loop (see
+#: ``docs/performance.md`` § Single-core performance); on 3.9 the classes
+#: fall back to plain dataclasses with identical behaviour.
+SLOTTED = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 #: Types allowed as attribute values.
 SCALAR_TYPES = (int, float, str, bool)
@@ -42,6 +51,34 @@ class Fact:
 
     relation: str
     values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        # Facts are hashed millions of times on the store/join hot path;
+        # compute the content hash once at construction.
+        object.__setattr__(self, "_hash", hash((self.relation, self.values)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed in the
+        # receiving process (string hashes are per-process under hash
+        # randomisation) and the pickle carries no instance dict.
+        return (Fact, (self.relation, self.values))
+
+    def __repr__(self) -> str:
+        # Byte-identical to the dataclass-generated repr, but rendered once
+        # per instance: repr-derived sort keys and message size accounting
+        # hit facts over and over, and interned (columnar) stores reuse the
+        # same canonical instance for the lifetime of a fact.
+        rendered = self.__dict__.get("_repr")
+        if rendered is None:
+            rendered = (
+                f"{self.__class__.__qualname__}"
+                f"(relation={self.relation!r}, values={self.values!r})"
+            )
+            object.__setattr__(self, "_repr", rendered)
+        return rendered
 
     @staticmethod
     def make(relation: str, values: Sequence[object]) -> "Fact":

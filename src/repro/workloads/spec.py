@@ -152,6 +152,9 @@ class RuntimeKnobs:
     #: ``None`` defers to ``NETTRAILS_INTERVAL_INDEX`` (the CI matrix hook);
     #: an explicit bool pins the interval-index query path on or off.
     use_interval_index: Optional[bool] = None
+    #: ``None`` defers to ``NETTRAILS_COLUMNAR`` (the CI matrix hook); an
+    #: explicit bool pins the columnar join core on or off.
+    columnar: Optional[bool] = None
 
     def runtime_kwargs(self) -> Dict[str, object]:
         return {
@@ -162,6 +165,7 @@ class RuntimeKnobs:
             "batch_deltas": self.batch_deltas,
             "query_cache_capacity": self.query_cache_capacity,
             "use_interval_index": self.use_interval_index,
+            "columnar": self.columnar,
         }
 
 

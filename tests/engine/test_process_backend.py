@@ -51,7 +51,7 @@ class TestLifecycle:
 
     def test_close_is_idempotent_and_reaps_workers(self):
         runtime = build_runtime(backend="process", backend_workers=2)
-        processes = [process for process, _conn, _lock in runtime.backend._handles]
+        processes = [channel.process for channel in runtime.backend._channels]
         assert len(processes) == 2 and all(p.is_alive() for p in processes)
         runtime.close()
         assert all(not p.is_alive() for p in processes)
@@ -67,7 +67,7 @@ class TestLifecycle:
             simulator.schedule(1.0, lambda i=i: fired.append(i), key=f"k{i}")
         assert simulator.run() == 4
         assert sorted(fired) == [0, 1, 2, 3]
-        assert backend._handles == []
+        assert backend._channels == []
         backend.close()
 
     def test_resolve_backend_builds_process_instance(self):
@@ -81,7 +81,7 @@ class TestFailureModes:
         runtime = build_runtime(backend="process", backend_workers=1)
         try:
             runtime.seed_links(run=True)
-            process, _conn, _lock = runtime.backend._handles[0]
+            process = runtime.backend._channels[0].process
             os.kill(process.pid, signal.SIGKILL)
             process.join(timeout=5.0)
             with pytest.raises(EngineError, match="died while"):
@@ -109,7 +109,7 @@ class TestFailureModes:
             )
             with pytest.raises(EngineError, match="failed draining"):
                 node._drain()
-            process, _conn, _lock = runtime.backend._handles[0]
+            process = runtime.backend._channels[0].process
             assert process.is_alive(), "a shipped error must not kill the worker"
         finally:
             runtime.close()

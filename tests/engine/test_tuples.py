@@ -60,3 +60,55 @@ class TestSchema:
     def test_invalid_attribute_name_count_rejected(self):
         with pytest.raises(SchemaError):
             Schema(relation="p", arity=2, attribute_names=("only_one",))
+
+
+class TestFactHotPathCaches:
+    """The message-size and shard-routing hot paths lean on Fact's cached
+    repr/hash; the caches must be invisible (same bytes, same pickles)."""
+
+    def test_repr_matches_dataclass_format_and_is_cached(self):
+        fact = Fact.make("link", ["n0", "n1", 1.5])
+        expected = "Fact(relation='link', values=('n0', 'n1', 1.5))"
+        assert repr(fact) == expected
+        assert repr(fact) is repr(fact), "second call must reuse the cached string"
+
+    def test_pickle_round_trip_drops_caches(self):
+        import pickle
+
+        fact = Fact.make("path", ["a", "b", ("c", 2)])
+        repr(fact), hash(fact)  # populate both caches
+        clone = pickle.loads(pickle.dumps(fact))
+        assert clone == fact and hash(clone) == hash(fact)
+        assert repr(clone) == repr(fact)
+
+    def test_slotted_message_dataclasses_pickle(self):
+        """slots=True removes __dict__ from the wire dataclasses; pickling
+        (the process backend's raw ablation path) must still round-trip."""
+        import pickle
+
+        from repro.engine.messages import ProvenanceTag, TupleDelta, TupleDeltaBatch
+
+        tag = ProvenanceTag("r1", "prog", "n0", "rid0")
+        delta = TupleDelta(+1, Fact.make("link", ["a", "b", 1]), "d0", tag)
+        batch = TupleDeltaBatch((delta,))
+        for original in (tag, delta, batch):
+            assert pickle.loads(pickle.dumps(original)) == original
+
+    def test_message_payload_reprs_match_dataclass_bytes(self):
+        """Message.size_estimate reprs every payload; the hand-written
+        __repr__ overrides must emit the exact dataclass format."""
+        from repro.engine.messages import ProvenanceTag, TupleDelta, TupleDeltaBatch
+
+        tag = ProvenanceTag("r1", "prog", "n0", "rid0")
+        delta = TupleDelta(+1, Fact.make("link", ["a", "b", 1]), "d0", tag)
+        assert repr(tag) == (
+            "ProvenanceTag(rule_name='r1', program_name='prog', "
+            "exec_node='n0', rid='rid0')"
+        )
+        assert repr(delta) == (
+            "TupleDelta(sign=1, fact=Fact(relation='link', "
+            "values=('a', 'b', 1)), derivation_id='d0', provenance="
+            "ProvenanceTag(rule_name='r1', program_name='prog', "
+            "exec_node='n0', rid='rid0'))"
+        )
+        assert repr(TupleDeltaBatch((delta,))) == f"TupleDeltaBatch(deltas=({delta!r},))"

@@ -1,0 +1,264 @@
+"""Randomized equivalence harness for the columnar store and join core.
+
+``NetTrailsRuntime(columnar=True)`` swaps the dictionary-of-sets
+:class:`~repro.engine.store.TupleStore` for the interned
+:class:`~repro.engine.store.ColumnarTupleStore` and lets the evaluator's
+batch join probe dense-id columns instead of ``Set[Fact]`` buckets.  The
+contract is that this is an *execution-strategy* change only: everything a
+run can observe — per-node store snapshots (values + derivation counts),
+the distributed provenance tables, provenance versions, message/event/round
+counters and the workload driver's full ``deterministic_view()`` — is
+bit-identical to the dict reference.  Raw derivation-id *strings* are
+outside the contract for both modes: firing ids are assigned in
+join-enumeration order, which no store implementation promises to preserve
+(the sharded dict store already reorders them).
+
+Three layers are pinned here:
+
+* **store** — randomized ``apply_delta_batch`` scripts (overlapping
+  insert/delete, duplicate derivations, flickering facts) applied to a
+  columnar and a dict store in lockstep, with full-surface agreement
+  asserted after *every* batch (satellite of the columnar refactor);
+* **runtime** — the sharding suite's churn scripts replayed on
+  columnar × shard-count variants against the dict unsharded baseline,
+  snapshots/fingerprints/versions compared after every step;
+* **workloads** — the scenario driver's ``deterministic_view()`` compared
+  across modes, which folds the metrics surface (including the trace
+  digest) into one equality.
+
+Like its siblings the suite honours ``NETTRAILS_CHURN_SEED``, and CI runs
+the *whole* property tree under ``NETTRAILS_COLUMNAR={0,1}``, so every
+other equivalence harness exercises the columnar path too.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import ExitStack
+
+import pytest
+
+from repro.engine.store import ColumnarTupleStore, TupleStore
+from repro.engine.tuples import Fact
+from repro.protocols import mincost, prefix_routing
+from repro.workloads.driver import run_scenario
+from repro.workloads.spec import ChurnPhase, QueryMixSpec, ScenarioSpec, TopologySpec
+from test_property_sharding import (
+    SEEDS,
+    TOPOLOGIES,
+    apply_op,
+    build_runtime,
+    generate_churn_script,
+    lineage_answers,
+)
+
+#: (columnar, num_shards, shard_workers) variants compared per-step against
+#: the dict unsharded baseline.  The sharded columnar legs prove interning
+#: stays correct when each shard owns a disjoint slice of a relation.
+COLUMNAR_VARIANTS = [
+    (True, None, 0),
+    (True, 2, 0),
+    (True, 4, 2),
+    (False, 4, 2),  # dict sharded control: anchors the baseline itself
+]
+
+
+def store_pair():
+    return TupleStore(), ColumnarTupleStore()
+
+
+def surface(store, relations, probes):
+    """Everything a store client can observe, canonicalised."""
+    view = {"snapshot": store.snapshot()}
+    for relation in relations:
+        facts = sorted(store.facts(relation), key=repr)
+        view[relation] = [(fact, store.derivation_count(fact)) for fact in facts]
+    view["matching"] = [
+        sorted(store.matching(relation, bound), key=repr)
+        for relation, bound in probes
+    ]
+    return view
+
+
+class TestStoreDeltaEquivalence:
+    """Satellite: dict and columnar stores agree after *every* delta batch."""
+
+    RELATIONS = ("link", "path")
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    def test_randomized_delta_batches_agree(self, seed):
+        rng = random.Random(seed * 7919 + 13)
+        dict_store, columnar_store = store_pair()
+        nodes = [f"n{i}" for i in range(5)]
+        live = []  # (fact, derivation_id) pairs believed present
+
+        def random_fact():
+            relation = rng.choice(self.RELATIONS)
+            if relation == "link":
+                values = (rng.choice(nodes), rng.choice(nodes), rng.randint(1, 3))
+            else:
+                values = (rng.choice(nodes), rng.choice(nodes), rng.choice(nodes))
+            return Fact.make(relation, values)
+
+        probes = [
+            ("link", {0: nodes[0]}),
+            ("link", {0: nodes[1], 1: nodes[2]}),
+            ("path", {2: nodes[3]}),
+            ("path", {}),
+        ]
+        context = f"seed={seed} (NETTRAILS_CHURN_SEED={seed})"
+        for step in range(12):
+            batch = []
+            for _ in range(rng.randint(1, 8)):
+                if live and rng.random() < 0.45:
+                    # Delete something present (or re-delete: idempotence).
+                    fact, derivation_id = rng.choice(live)
+                    if rng.random() < 0.8:
+                        live.remove((fact, derivation_id))
+                    batch.append((-1, fact, derivation_id))
+                else:
+                    fact = random_fact()
+                    derivation_id = f"d{rng.randint(0, 9)}"
+                    if (fact, derivation_id) not in live:
+                        live.append((fact, derivation_id))
+                    batch.append((+1, fact, derivation_id))
+            if live and rng.random() < 0.5:
+                # Flicker: insert-then-delete inside one batch must net out.
+                fact = random_fact()
+                batch.append((+1, fact, "flicker"))
+                batch.append((-1, fact, "flicker"))
+            where = f"{context} step={step} batch={batch}"
+            dict_result = dict_store.apply_delta_batch(list(batch))
+            columnar_result = columnar_store.apply_delta_batch(list(batch))
+            assert columnar_result == dict_result, where
+            assert surface(columnar_store, self.RELATIONS, probes) == surface(
+                dict_store, self.RELATIONS, probes
+            ), where
+
+    def test_probe_columns_matches_matching(self):
+        """The join hot path's bucket scan enumerates exactly the facts the
+        portable ``matching`` API yields (ascending intern id)."""
+        _, store = store_pair()
+        rng = random.Random(3)
+        nodes = [f"n{i}" for i in range(4)]
+        deltas = [
+            (+1, Fact.make("link", (rng.choice(nodes), rng.choice(nodes), 1)), f"d{i}")
+            for i in range(30)
+        ]
+        store.apply_delta_batch(deltas)
+        for bound in ({0: "n0"}, {1: "n2"}, {0: "n1", 1: "n3"}):
+            positions = tuple(sorted(bound))
+            key = tuple(bound[p] for p in positions)
+            via_buckets = [
+                facts[fid]
+                for facts, ids, _delta in store.probe_columns("link", positions, key)
+                for fid in ids
+            ]
+            assert via_buckets == list(store.matching("link", bound))
+
+
+class TestColumnarChurnEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+    @pytest.mark.parametrize("topology_name", sorted(TOPOLOGIES))
+    def test_columnar_runs_match_dict_baseline(
+        self, topology_name, seed, global_state, provenance_fingerprint, store_snapshots
+    ):
+        net = TOPOLOGIES[topology_name]()
+        script = generate_churn_script(seed, net)
+        context = f"topology={topology_name} seed={seed} (NETTRAILS_CHURN_SEED={seed})"
+
+        with ExitStack() as stack:
+            baseline = stack.enter_context(
+                build_runtime(mincost.program(), net, columnar=False)
+            )
+            variants = {
+                key: stack.enter_context(
+                    build_runtime(
+                        mincost.program(),
+                        net,
+                        columnar=key[0],
+                        num_shards=key[1],
+                        shard_workers=key[2],
+                    )
+                )
+                for key in COLUMNAR_VARIANTS
+            }
+            for (columnar, _shards, _workers), runtime in variants.items():
+                assert runtime.columnar is columnar, context
+
+            for step, op in enumerate(script):
+                apply_op(baseline, op)
+                expected_snapshots = store_snapshots(baseline)
+                expected_fingerprint = provenance_fingerprint(baseline)
+                expected_versions = baseline.provenance.versions()
+                for key, runtime in variants.items():
+                    where = f"{context} columnar,K,workers={key} step={step} op={op}"
+                    apply_op(runtime, op)
+                    assert store_snapshots(runtime) == expected_snapshots, where
+                    assert provenance_fingerprint(runtime) == expected_fingerprint, where
+                    assert runtime.provenance.versions() == expected_versions, where
+
+            expected_state = global_state(baseline, ["link", "path", "minCost"])
+            expected_answers = lineage_answers(baseline, "minCost")
+            for key, runtime in variants.items():
+                where = f"{context} columnar,K,workers={key}"
+                state = global_state(runtime, ["link", "path", "minCost"])
+                assert state == expected_state, where
+                assert lineage_answers(runtime, "minCost") == expected_answers, where
+
+
+class TestDriverViewEquivalence:
+    """The workload driver folds trace digest + every metrics counter into
+    ``deterministic_view()``; one equality covers the whole surface."""
+
+    @pytest.mark.parametrize("protocol", ["mincost", "prefix_routing"])
+    def test_deterministic_view_identical_across_modes(self, protocol):
+        spec = ScenarioSpec(
+            name=f"columnar-equiv-{protocol}",
+            topology=TopologySpec.make("grid", rows=3, columns=3),
+            protocol=protocol,
+            seed=7,
+            churn=(ChurnPhase.make("link_flap", batches=4, flaps_per_batch=2),),
+            queries=QueryMixSpec(
+                relation="route" if protocol == "prefix_routing" else "path",
+                queries_per_wave=2,
+            ),
+        )
+        views = {
+            columnar: run_scenario(spec.with_knobs(columnar=columnar)).deterministic_view()
+            for columnar in (False, True)
+        }
+        assert views[True] == views[False], (
+            f"columnar mode changed the driver's deterministic view for {protocol}"
+        )
+
+
+class TestColumnarProcessBackend:
+    """Columnar evaluation inside forked workers: the drain-trace protocol
+    replays worker results against the coordinator's columnar stores too."""
+
+    def test_columnar_process_run_matches_serial_dict(
+        self, global_state, store_snapshots
+    ):
+        net = TOPOLOGIES["as-level"]()
+        script = generate_churn_script(SEEDS[0], net)
+        with ExitStack() as stack:
+            baseline = stack.enter_context(
+                build_runtime(mincost.program(), net, columnar=False)
+            )
+            variant = stack.enter_context(
+                build_runtime(
+                    mincost.program(),
+                    net,
+                    columnar=True,
+                    backend="process",
+                    backend_workers=2,
+                )
+            )
+            for op in script:
+                apply_op(baseline, op)
+                apply_op(variant, op)
+                assert store_snapshots(variant) == store_snapshots(baseline)
+            assert global_state(variant, ["link", "path", "minCost"]) == global_state(
+                baseline, ["link", "path", "minCost"]
+            )
