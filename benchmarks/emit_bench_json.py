@@ -25,7 +25,12 @@ Runs compact, deterministic versions of the headline experiments —
   join vs the dict-of-sets reference on a compact hierarchy, and the
   process backend's delta-encoded drain traces vs raw pickling; the
   ≥1.25x single-core gate on the 1010-node scale profile stays in
-  ``test_e19_columnar.py``) —
+  ``test_e19_columnar.py``),
+* **E20** the observability layer (paired off/on churn timing on a compact
+  hierarchy with the surface-identity invariant, plus the span-tree
+  completeness reconciliation against the smoke scenario's MetricsReport;
+  the <3% overhead gate on the 1010-node scale profile stays in
+  ``test_e20_observability.py``) —
 
 and writes one flat JSON document of named metrics (message counts,
 simulator events, rounds, wall-clock seconds).  The CI ``bench-trajectory``
@@ -74,6 +79,11 @@ from test_e17_durability import (  # noqa: E402
 )
 from test_e18_process import WORKER_COUNTS, run_scale_churn  # noqa: E402
 from test_e19_columnar import bytes_per_drain, run_columnar_ratio, run_trace_bytes  # noqa: E402
+from test_e20_observability import (  # noqa: E402
+    completeness_violations,
+    run_completeness,
+    run_overhead_ab,
+)
 
 #: Metrics whose names end with one of these suffixes are wall-clock and
 #: therefore recorded but never gated.
@@ -353,6 +363,42 @@ def collect_metrics() -> dict:
         round(bytes_per_drain(raw_stats), 1), gate=False
     )
     metrics["e19.trace.reduction"] = _metric(round(reduction, 3), gate=False)
+
+    # E20 — observability.  Part A pairs off/on churn runs on a compact
+    # hierarchy (the 1010-node <3% gate stays in the pytest benchmark): the
+    # hard invariant is surface identity — telemetry must not perturb one
+    # message, event or round — and the CPU seconds / overhead ratio are
+    # recorded ungated.  Part B re-runs the smoke scenario with the
+    # subsystem on and hard-fails unless the engine-level query spans
+    # reconcile exactly with the MetricsReport totals (and every query
+    # trace assembles into a single-rooted tree).
+    e20 = run_overhead_ab(reps=2, dims=(4, 4, 4), prefixes=16)
+    if e20["enabled_surface"] != e20["disabled_surface"]:
+        raise SystemExit(
+            "E20 invariant violated: observability changed the observable "
+            f"surface ({e20['enabled_surface']} vs {e20['disabled_surface']})"
+        )
+    metrics["e20.messages"] = _metric(e20["disabled_surface"]["messages"])
+    metrics["e20.events"] = _metric(e20["disabled_surface"]["events"])
+    metrics["e20.rounds"] = _metric(e20["disabled_surface"]["rounds"])
+    metrics["e20.disabled.cpu_seconds"] = _metric(
+        round(e20["disabled_median"], 3), gate=False
+    )
+    metrics["e20.enabled.cpu_seconds"] = _metric(
+        round(e20["enabled_median"], 3), gate=False
+    )
+    metrics["e20.overhead"] = _metric(round(e20["overhead"], 4), gate=False)
+    completeness = run_completeness()
+    violations = completeness_violations(completeness)
+    if violations:
+        raise SystemExit(
+            "E20 invariant violated: query spans do not reconcile with the "
+            "MetricsReport (" + "; ".join(violations) + ")"
+        )
+    metrics["e20.query_roots"] = _metric(completeness["query_roots"])
+    metrics["e20.span_messages"] = _metric(completeness["span_messages"])
+    metrics["e20.span_rounds"] = _metric(completeness["span_rounds"])
+    metrics["e20.total_spans"] = _metric(completeness["total_spans"], gate=False)
     return metrics
 
 

@@ -67,13 +67,16 @@ MIN_SPEEDUP = 1.25
 MIN_BYTES_REDUCTION = 0.30
 
 
-def build_scale_runtime(columnar, dims=SCALE_DIMS, prefixes=PREFIX_COUNT):
+def build_scale_runtime(columnar, dims=SCALE_DIMS, prefixes=PREFIX_COUNT, **runtime_kwargs):
     """Seed PREFIX_ROUTING on the scale hierarchy; return (runtime, batch)
     where *batch* is the bidirectional backup-link delta list one churn
-    round inserts and then retracts."""
+    round inserts and then retracts.  Extra keyword arguments pass through
+    to :class:`NetTrailsRuntime` (E20 reuses this profile with
+    ``observability=`` flipped)."""
     net = topology.isp_hierarchy(*dims, seed=11)
     runtime = NetTrailsRuntime(
-        prefix_routing.program(), net, provenance=False, columnar=columnar
+        prefix_routing.program(), net, provenance=False, columnar=columnar,
+        **runtime_kwargs,
     )
     runtime.seed_links(run=True)
     tier2 = sorted(node for node in runtime.node_ids() if str(node).startswith("t2_"))

@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import QueryError
 from repro.engine.messages import (
@@ -66,6 +67,7 @@ from repro.core.queries import (
     QUERY_SUBGRAPH,
 )
 from repro.core.results import QueryResult, QueryStats, TupleRef
+from repro.obs.tracing import Span, TraceContext
 
 _REQUEST_KIND_TUPLE = "tuple"
 _REQUEST_KIND_EXEC = "exec"
@@ -81,7 +83,16 @@ CACHE_VALIDATION_GLOBAL = "global"
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """A traversal step shipped to another node."""
+    """A traversal step shipped to another node.
+
+    ``trace`` is the requester's observability span context
+    (``(trace_id, span_id)``), carried in-band so the responding node's
+    frame span parents correctly; it is ``None`` whenever tracing is off
+    and is *never* rendered in the repr, so
+    :meth:`~repro.engine.messages.Message.size_estimate` — and with it the
+    byte statistics of every determinism contract — is identical whether
+    observability is enabled or not.
+    """
 
     query_id: str
     request_id: str
@@ -91,6 +102,16 @@ class QueryRequest:
     options: QueryOptions
     depth: int
     reply_to: object
+    trace: Optional[Tuple[str, str]] = None
+
+    def __repr__(self) -> str:
+        # Byte-identical to the generated dataclass repr before the trace
+        # field existed (wire-byte accounting must not see observability).
+        return (
+            f"QueryRequest(query_id={self.query_id!r}, request_id={self.request_id!r}, "
+            f"kind={self.kind!r}, target={self.target!r}, mode={self.mode!r}, "
+            f"options={self.options!r}, depth={self.depth!r}, reply_to={self.reply_to!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -158,6 +179,15 @@ class IntervalRequest:
     mode: str
     targets: Tuple[Tuple[int, Tuple[str, ...], Tuple[str, ...]], ...]
     reply_to: object
+    #: Coordinator span context (see :class:`QueryRequest.trace`); omitted
+    #: from the repr so byte accounting is unaffected by observability.
+    trace: Optional[Tuple[str, str]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalRequest(query_id={self.query_id!r}, request_id={self.request_id!r}, "
+            f"mode={self.mode!r}, targets={self.targets!r}, reply_to={self.reply_to!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -273,6 +303,9 @@ class _Frame:
     reply_batch: Optional[Tuple["_ReplyCollector", str, str]] = None  # (collector, query_id, request_id)
     root_key: Optional[str] = None
     query_id: str = ""
+    #: Observability span covering this frame's lifetime (``None`` while
+    #: tracing is off); finished by ``_complete``.
+    span: Optional[Span] = None
 
 
 class QueryAgent:
@@ -286,6 +319,7 @@ class QueryAgent:
     def __init__(self, node: Node, engine: "DistributedQueryEngine"):
         self.node = node
         self.engine = engine
+        self.obs = getattr(engine.runtime, "obs", None)
         self.cache = NodeQueryCache(
             capacity=engine.cache_capacity,
             version_fn=engine.entry_version,
@@ -322,6 +356,41 @@ class QueryAgent:
     def _reducer(self, mode: str) -> QueryReducer:
         return self.engine.reducer(mode)
 
+    def _tracing(self) -> bool:
+        return self.obs is not None and self.obs.tracing
+
+    def _frame_span(self, frame: _Frame, parent: Union[None, Span, TraceContext]) -> None:
+        """Open the observability span for *frame* (no-op while tracing is off).
+
+        *parent* is the requesting side's span or shipped context; ``None``
+        falls back to the tracer's ambient context (the engine-level query
+        root), and a frame with no resolvable parent stays span-less so a
+        trace never contains orphans.
+        """
+        if not self._tracing():
+            return
+        tracer = self.obs.tracer
+        if parent is None:
+            parent = tracer.current()
+        if parent is None:
+            return
+        frame.span = tracer.start_span(
+            f"frame.{frame.kind}",
+            parent=parent,
+            node=repr(self.node.id),
+            target=frame.target,
+            depth=frame.depth,
+        )
+
+    def _request_trace(self, frame: _Frame) -> Optional[Tuple[str, str]]:
+        """The span context outgoing requests of *frame* should carry."""
+        if not self._tracing():
+            return None
+        if frame.span is not None:
+            return frame.span.context().as_tuple()
+        current = self.obs.tracer.current()
+        return current.as_tuple() if current is not None else None
+
     def _tuple_ref(self, vid: str) -> TupleRef:
         store = self._pstore
         if store.knows_tuple(vid):
@@ -336,6 +405,7 @@ class QueryAgent:
         """Start a query for a tuple stored at this node (no network hop needed)."""
         frame = self._make_tuple_frame(query_id, vid, mode, options, depth=0)
         frame.root_key = root_key
+        self._frame_span(frame, None)
         self._activate(frame)
 
     def start_remote_root(
@@ -369,6 +439,10 @@ class QueryAgent:
         self._pending_remote[request_id] = (_ROOT_MARKER, 0)
         self._root_keys[request_id] = root_key
         self._root_meta[request_id] = (vid, mode, options)
+        trace = None
+        if self._tracing():
+            current = self.obs.tracer.current()
+            trace = current.as_tuple() if current is not None else None
         self.node.send(
             home_node,
             CATEGORY_PROVENANCE_QUERY,
@@ -381,6 +455,7 @@ class QueryAgent:
                 options=options,
                 depth=0,
                 reply_to=self.node.id,
+                trace=trace,
             ),
         )
 
@@ -411,6 +486,7 @@ class QueryAgent:
                 frame.reply_batch = (collector, request.query_id, request.request_id)
             else:
                 frame.remote_reply = (request.reply_to, request.query_id, request.request_id)
+            self._frame_span(frame, TraceContext.from_tuple(request.trace))
             self._activate(frame)
 
     def _on_reply(self, message) -> None:
@@ -508,6 +584,10 @@ class QueryAgent:
             self._interval_finish(batch)
             return
         batch.outstanding = len(by_partition)
+        trace = None
+        if self._tracing():
+            current = self.obs.tracer.current()
+            trace = current.as_tuple() if current is not None else None
         for partition in sorted(by_partition, key=repr):
             request_id = self._new_request_id()
             self._interval_pending[request_id] = batch.query_id
@@ -520,6 +600,7 @@ class QueryAgent:
                     mode=batch.mode,
                     targets=tuple(by_partition[partition]),
                     reply_to=self.node.id,
+                    trace=trace,
                 ),
             )
 
@@ -552,7 +633,17 @@ class QueryAgent:
             )
 
     def _on_interval_request(self, request: IntervalRequest) -> None:
+        span = None
+        if self._tracing() and request.trace is not None:
+            span = self.obs.tracer.start_span(
+                "interval.partition",
+                parent=TraceContext.from_tuple(request.trace),
+                node=repr(self.node.id),
+                targets=len(request.targets),
+            )
         results = self._interval_partition_results(request.mode, request.targets)
+        if span is not None:
+            span.finish(results=len(results))
         self.node.send(
             request.reply_to,
             CATEGORY_PROVENANCE_REPLY,
@@ -769,6 +860,7 @@ class QueryAgent:
 
     def _send_remote_batch(self, frame: _Frame, destination: object, indexes: List[int]) -> None:
         """Ship the given remote subtasks of *frame* to one peer in one message."""
+        trace = self._request_trace(frame)
         requests: List[QueryRequest] = []
         for index in indexes:
             subtask = frame.subtasks[index]
@@ -784,6 +876,7 @@ class QueryAgent:
                     options=frame.options,
                     depth=frame.depth,
                     reply_to=self.node.id,
+                    trace=trace,
                 )
             )
         payload: object = requests[0] if len(requests) == 1 else QueryRequestBatch(tuple(requests))
@@ -805,6 +898,7 @@ class QueryAgent:
                 frame.query_id, subtask.target, frame.mode, frame.options, frame.depth
             )
             child.parent = (frame.frame_id, index)
+            self._frame_span(child, frame.span)
             self._activate(child)
             return
         if subtask.kind == "local-tuple":
@@ -812,6 +906,7 @@ class QueryAgent:
                 frame.query_id, subtask.target, frame.mode, frame.options, frame.depth + 1
             )
             child.parent = (frame.frame_id, index)
+            self._frame_span(child, frame.span)
             self._activate(child)
             return
         # remote-exec (rule fired at another node): a singleton batch, which
@@ -865,6 +960,12 @@ class QueryAgent:
 
     def _complete(self, frame: _Frame, bundle: _Bundle) -> None:
         self._frames.pop(frame.frame_id, None)
+        if frame.span is not None:
+            frame.span.finish(
+                truncated=bundle.truncated,
+                cache_hits=bundle.cache_hits,
+                subtasks=len(frame.subtasks),
+            )
         if (
             frame.kind == "tuple"
             and frame.options.use_cache
@@ -996,6 +1097,18 @@ class DistributedQueryEngine:
         # which stays single-writer under the backend scheduling contract.
         self._completions_lock = threading.Lock()
         self._query_seq = itertools.count(1)
+        #: Observability: adopt the runtime's bundle (if any) and expose the
+        #: query-cache counters as a registry view plus a per-mode latency
+        #: histogram.  Purely observational — absent entirely when the
+        #: runtime's ``observability`` knob is off.
+        self.obs = getattr(runtime, "obs", None)
+        self._latency_histogram = None
+        if self.obs is not None:
+            self.obs.registry.register_view("cache", self.cache_totals)
+            self._latency_histogram = self.obs.registry.histogram(
+                "query.latency_seconds",
+                "Wall-clock provenance query latency by query mode",
+            )
 
     # -- reducers ---------------------------------------------------------------------
 
@@ -1043,6 +1156,45 @@ class DistributedQueryEngine:
         with self._completions_lock:
             self._completions[root_key] = bundle
 
+    # -- observability helpers -------------------------------------------------------------
+
+    def _begin_query_span(self, query_id: str, mode: str):
+        """Open the engine-level root span for one query (or interval batch).
+
+        Returns ``(span, previous_ambient_context, wall_start)``; all three
+        are ``None``-ish no-ops while tracing is off.  The span's context is
+        installed as the tracer's ambient context so node drains executed
+        inside the query's quiescence run parent to the query root instead
+        of opening their own window trace.
+        """
+        if self.obs is None or not self.obs.tracing:
+            return None, None, time.perf_counter()
+        span = self.obs.tracer.start_span("query", trace_id=query_id, mode=mode)
+        previous = self.obs.tracer.set_current(span.context())
+        return span, previous, time.perf_counter()
+
+    def _end_query_span(
+        self,
+        span: Optional[Span],
+        wall_start: float,
+        mode: str,
+        messages: int,
+        rounds: int,
+        n_roots: int,
+    ) -> None:
+        """Finish the root span with the exact per-query deltas.
+
+        The ``messages`` / ``rounds`` attributes are the same network-stat
+        deltas :class:`~repro.core.results.QueryStats` reports, so summing
+        them across every ``query``-named span reconciles exactly with the
+        scenario driver's ``MetricsReport`` totals — the completeness
+        invariant benchmark E20 gates.
+        """
+        if self._latency_histogram is not None:
+            self._latency_histogram.labels(mode=mode).observe(time.perf_counter() - wall_start)
+        if span is not None:
+            span.finish(messages=messages, rounds=rounds, n_roots=n_roots)
+
     # -- query API ---------------------------------------------------------------------------
 
     def query(
@@ -1077,14 +1229,19 @@ class DistributedQueryEngine:
         time_before = self.runtime.simulator.now
         rounds_before = self.runtime.simulator.rounds
 
-        if at is None or at == location:
-            self._agents[location].start_root(query_id, vid, mode, options, root_key)
-        else:
-            if at not in self._agents:
-                raise QueryError(f"query issued at unknown node {at!r}")
-            self._agents[at].start_remote_root(query_id, vid, location, mode, options, root_key)
+        span, previous, wall_start = self._begin_query_span(query_id, mode)
+        try:
+            if at is None or at == location:
+                self._agents[location].start_root(query_id, vid, mode, options, root_key)
+            else:
+                if at not in self._agents:
+                    raise QueryError(f"query issued at unknown node {at!r}")
+                self._agents[at].start_remote_root(query_id, vid, location, mode, options, root_key)
 
-        self.runtime.run_to_quiescence()
+            self.runtime.run_to_quiescence()
+        finally:
+            if span is not None:
+                self.obs.tracer.set_current(previous)
         with self._completions_lock:
             bundle = self._completions.pop(root_key, None)
         if bundle is None:
@@ -1099,6 +1256,7 @@ class DistributedQueryEngine:
             nodes_visited=len(bundle.visited),
             cache_hits=bundle.cache_hits,
         )
+        self._end_query_span(span, wall_start, mode, stats.messages, stats.rounds, n_roots=1)
         return QueryResult(
             mode=mode,
             root=TupleRef(relation=relation, values=fact.values, location=location),
@@ -1182,15 +1340,20 @@ class DistributedQueryEngine:
         time_before = self.runtime.simulator.now
         rounds_before = self.runtime.simulator.rounds
 
-        self._agents[coordinator].start_interval_batch(
-            query_id,
-            mode,
-            [
-                (root_keys[index], vid, location)
-                for index, (_fact, vid, location) in enumerate(roots)
-            ],
-        )
-        self.runtime.run_to_quiescence()
+        span, previous, wall_start = self._begin_query_span(query_id, mode)
+        try:
+            self._agents[coordinator].start_interval_batch(
+                query_id,
+                mode,
+                [
+                    (root_keys[index], vid, location)
+                    for index, (_fact, vid, location) in enumerate(roots)
+                ],
+            )
+            self.runtime.run_to_quiescence()
+        finally:
+            if span is not None:
+                self.obs.tracer.set_current(previous)
 
         stats_after = self.runtime.network.stats.snapshot()
         # Wave messages are shared by every root of the batch, so the stats
@@ -1201,6 +1364,7 @@ class DistributedQueryEngine:
         octets = int(stats_after["bytes"]) - int(stats_before["bytes"])
         latency = self.runtime.simulator.now - time_before
         rounds = self.runtime.simulator.rounds - rounds_before
+        self._end_query_span(span, wall_start, mode, messages, rounds, n_roots=len(roots))
 
         results: List[QueryResult] = []
         for index, (fact, vid, location) in enumerate(roots):

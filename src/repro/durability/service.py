@@ -17,7 +17,6 @@ what the E17 concurrent-client benchmark measures.
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from pathlib import Path
@@ -44,24 +43,24 @@ def _resolve_source(program: str) -> str:
 
 
 def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
-    """count / mean / max plus nearest-rank p50, p95 and p99 percentiles."""
+    """count / mean / max plus nearest-rank p50, p95 and p99 percentiles.
+
+    A shim over the shared :class:`repro.obs.registry.Histogram` percentile
+    implementation: the histogram's bucket bounds are the observed values
+    themselves, so the nearest-rank answers are *exact* (identical to the
+    sorted-list computation this function used to hand-roll), and every
+    latency surface in the repo — this one, the client harness, the
+    observability registry — reports percentiles through one code path.
+    """
     if not samples:
         return {"count": 0.0}
-    ordered = sorted(samples)
-    count = len(ordered)
+    from repro.obs.registry import Histogram
 
-    def rank(p: float) -> float:
-        index = max(0, min(count - 1, math.ceil(p * count) - 1))
-        return ordered[index]
-
-    return {
-        "count": float(count),
-        "mean": sum(ordered) / count,
-        "max": ordered[-1],
-        "p50": rank(0.50),
-        "p95": rank(0.95),
-        "p99": rank(0.99),
-    }
+    values = [float(sample) for sample in samples]
+    histogram = Histogram("latency_summary", buckets=tuple(sorted(set(values))))
+    for value in values:
+        histogram.observe(value)
+    return histogram.summary()
 
 
 class ServiceRuntime:
@@ -106,6 +105,9 @@ class ServiceRuntime:
         self.query_latencies: List[float] = []
         self.checkpoints_taken = 0
         self.last_recovery: Optional[RecoveryResult] = None
+        #: Flight-recorder dump captured by :meth:`crash` (post-mortem aid);
+        #: ``None`` until a crash happens or while observability is off.
+        self.last_flight_record: Optional[Dict[str, object]] = None
         self.runtime = NetTrailsRuntime(
             _resolve_source(program),
             topology,
@@ -113,6 +115,7 @@ class ServiceRuntime:
             wal_fsync=wal_fsync,
             **runtime_kwargs,
         )
+        self._register_service_view()
 
     @classmethod
     def recover(
@@ -141,8 +144,25 @@ class ServiceRuntime:
         service.query_latencies = []
         service.checkpoints_taken = 0
         service.last_recovery = result
+        service.last_flight_record = None
         service.runtime = result.runtime
+        service._register_service_view()
         return service
+
+    def _register_service_view(self) -> None:
+        """Expose the service-level counters on the runtime's metrics registry."""
+        obs = self.runtime.obs
+        if obs is None:
+            return
+
+        def view() -> Dict[str, float]:
+            return {
+                "commits": float(len(self.commit_latencies)),
+                "queries": float(len(self.query_latencies)),
+                "checkpoints": float(self.checkpoints_taken),
+            }
+
+        obs.registry.register_view("service", view)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -175,6 +195,10 @@ class ServiceRuntime:
         with self._lock:
             if not self._closed:
                 self._closed = True
+                obs = self.runtime.obs
+                if obs is not None:
+                    obs.record_event("crash", batches=self.committed_batches)
+                    self.last_flight_record = obs.dump()
                 self.runtime._pending_ops = []
                 self.runtime.close()
 
@@ -204,9 +228,20 @@ class ServiceRuntime:
         with self._lock:
             self._require_open()
             started = time.perf_counter()
-            for op in ops:
-                apply_churn_op(self.runtime, op)
-            events = self.runtime.run_to_quiescence()
+            obs = self.runtime.obs
+            span = previous = None
+            if obs is not None and obs.tracing:
+                span = obs.tracer.start_span("service.commit")
+                previous = obs.tracer.set_current(span.context())
+            try:
+                for op in ops:
+                    apply_churn_op(self.runtime, op)
+                events = self.runtime.run_to_quiescence()
+            finally:
+                if span is not None:
+                    obs.tracer.set_current(previous)
+            if span is not None:
+                span.finish(ops=len(ops), events=events)
             elapsed = time.perf_counter() - started
             self.commit_latencies.append(elapsed)
             self._maybe_checkpoint()

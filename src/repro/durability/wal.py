@@ -202,6 +202,8 @@ class WriteAheadLog:
         self.path = wal_path(directory)
         self.fsync = bool(fsync)
         self.records_appended = 0
+        self.fsyncs = 0
+        self.bytes_appended = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             result = scan(self.path)
             if result.torn:
@@ -225,6 +227,7 @@ class WriteAheadLog:
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+            self.fsyncs += 1
 
     def append(self, record_type: str, data: Dict[str, object]) -> WalRecord:
         """Append one record and flush it; returns the verified record."""
@@ -243,7 +246,16 @@ class WriteAheadLog:
         )
         self._next_seq += 1
         self.records_appended += 1
+        self.bytes_appended += len(blob)
         return record
+
+    def counters(self) -> Dict[str, int]:
+        """Plain append/fsync/byte counters (the registry's ``wal.*`` view)."""
+        return {
+            "records_appended": self.records_appended,
+            "fsyncs": self.fsyncs,
+            "bytes_appended": self.bytes_appended,
+        }
 
     def close(self) -> None:
         if self._handle is not None:

@@ -112,6 +112,11 @@ class ExecutionBackend:
     #: Short name used by :func:`resolve_backend` and ``NETTRAILS_BACKEND``.
     name = "abstract"
 
+    #: The runtime's observability bundle (``None`` while the knob is off);
+    #: bound by :meth:`attach`.  Purely observational — nothing here may
+    #: influence event ordering or the deferred side-effect merge.
+    _obs = None
+
     def execute_wave(self, simulator: "Simulator", limit: Optional[int] = None) -> int:
         """Execute (up to *limit* of) the events at the earliest queued time.
 
@@ -125,10 +130,28 @@ class ExecutionBackend:
 
         Called once by :class:`~repro.engine.runtime.NetTrailsRuntime` after
         its nodes and links exist but before any event has executed (and
-        before durable mode opens its WAL).  The default is a no-op; the
-        process-pool backend forks its workers here so they inherit a
-        byte-identical copy of every store.
+        before durable mode opens its WAL).  The base implementation only
+        adopts the runtime's observability bundle; the process-pool backend
+        additionally forks its workers here so they inherit a byte-identical
+        copy of every store.
         """
+        self._bind_obs(getattr(runtime, "obs", None))
+
+    def _bind_obs(self, obs) -> None:
+        """Adopt an observability bundle and pre-resolve the wave instruments."""
+        self._obs = obs
+        if obs is not None:
+            self._m_waves = obs.registry.counter(
+                "wave.waves", "Same-instant event waves executed"
+            )
+            self._m_wave_events = obs.registry.counter(
+                "wave.events", "Events executed across all waves"
+            )
+            self._m_wave_groups = obs.registry.histogram(
+                "wave.occupancy",
+                "Concurrent serialization-key groups per multi-group wave segment",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            )
 
     def close(self) -> None:
         """Release worker resources (threads, event loops, processes); idempotent."""
@@ -167,6 +190,9 @@ class _ConcurrentBackend(ExecutionBackend):
 
     def execute_wave(self, simulator: "Simulator", limit: Optional[int] = None) -> int:
         wave = simulator._take_wave(limit)
+        if self._obs is not None and wave:
+            self._m_waves.inc()
+            self._m_wave_events.inc(len(wave))
         index = 0
         while index < len(wave):
             if wave[index].key is None:
@@ -186,6 +212,8 @@ class _ConcurrentBackend(ExecutionBackend):
         groups: Dict[object, List["_ScheduledEvent"]] = {}
         for event in events:
             groups.setdefault(event.key, []).append(event)
+        if self._obs is not None and len(groups) > 1:
+            self._m_wave_groups.observe(len(groups))
         if len(groups) == 1:
             # One serialization domain (e.g. a single-node topology): running
             # inline *is* the serial order, no deferral machinery needed.
@@ -327,25 +355,31 @@ class _WorkerChannel:
     envelope order.
     """
 
-    def __init__(self, process, conn, trace_delta: bool):
+    def __init__(self, process, conn, trace_delta: bool, obs=None):
         import threading
 
         self.process = process
         self.conn = conn
         self.trace_delta = trace_delta
+        self.obs = obs
         self._codec = None
         self._pipe_lock = threading.Lock()
         self._queue_lock = threading.Lock()
-        self._pending: List[list] = []  # [node_id, updates, result, error, done]
+        self._pending: List[list] = []  # [node_id, updates, result, error, done, trace_ctx]
         # Transport statistics (reads are snapshots; mutated under _pipe_lock).
         self.request_bytes = 0
         self.reply_bytes = 0
         self.envelopes = 0
         self.drains = 0
 
-    def request(self, node_id: object, updates: List) -> List[tuple]:
-        """Ship one drain request, possibly riding another thread's envelope."""
-        entry = [node_id, updates, None, None, False]
+    def request(self, node_id: object, updates: List, ctx: Optional[tuple] = None) -> List[tuple]:
+        """Ship one drain request, possibly riding another thread's envelope.
+
+        *ctx* is the coordinator's ambient ``(trace_id, span_id)`` for this
+        drain (``None`` while tracing is off); it rides the envelope so the
+        worker can parent its drain span correctly.
+        """
+        entry = [node_id, updates, None, None, False, ctx]
         with self._queue_lock:
             self._pending.append(entry)
         with self._pipe_lock:
@@ -364,13 +398,23 @@ class _WorkerChannel:
             if self._codec is None:
                 self._codec = TraceCodec()
             codec = self._codec
+            # The trace context only rides along when present, so envelope
+            # bytes are unchanged while tracing is off.
             items = [
                 (codec._enc_str(entry[0]), codec.encode_updates(entry[1]))
+                if entry[5] is None
+                else (codec._enc_str(entry[0]), codec.encode_updates(entry[1]), entry[5])
                 for entry in batch
             ]
             envelope = ("drains", items)
         else:
-            envelope = ("raw", [(entry[0], entry[1]) for entry in batch])
+            envelope = (
+                "raw",
+                [
+                    (entry[0], entry[1]) if entry[5] is None else (entry[0], entry[1], entry[5])
+                    for entry in batch
+                ],
+            )
         blob = dump_envelope(envelope)
         try:
             self.conn.send_bytes(blob)
@@ -381,6 +425,13 @@ class _WorkerChannel:
                 f"draining nodes {[entry[0] for entry in batch]!r}; the in-flight "
                 "wave is lost — rebuild the runtime (durable mode replays the WAL)"
             )
+            if self.obs is not None:
+                self.obs.record_event(
+                    "worker_error",
+                    pid=self.process.pid,
+                    error="worker died (pipe closed)",
+                    nodes=[repr(entry[0]) for entry in batch],
+                )
             for entry in batch:
                 entry[3] = message
                 entry[4] = True
@@ -395,6 +446,13 @@ class _WorkerChannel:
                 f"process backend worker (pid {self.process.pid}) failed draining "
                 f"nodes {[entry[0] for entry in batch]!r}: {payload}"
             )
+            if self.obs is not None:
+                self.obs.record_event(
+                    "worker_error",
+                    pid=self.process.pid,
+                    error=str(payload),
+                    nodes=[repr(entry[0]) for entry in batch],
+                )
             for entry in batch:
                 entry[3] = message
                 entry[4] = True
@@ -484,6 +542,7 @@ class ProcessPoolBackend(ThreadPoolBackend):
                 "a fresh backend (or pass backend='process') per runtime"
             )
         self._attached = True
+        self._bind_obs(getattr(runtime, "obs", None))
         nodes = getattr(runtime, "nodes", None)
         if not nodes:
             return
@@ -509,7 +568,9 @@ class ProcessPoolBackend(ThreadPoolBackend):
             )
             process.start()
             child_conn.close()
-            self._channels.append(_WorkerChannel(process, parent_conn, self.trace_delta))
+            self._channels.append(
+                _WorkerChannel(process, parent_conn, self.trace_delta, obs=self._obs)
+            )
         for node_id, node in nodes.items():
             node._remote_drain = self._make_remote_drain(self._assignment[node_id])
 
@@ -519,7 +580,13 @@ class ProcessPoolBackend(ThreadPoolBackend):
             node._queue.clear()
             if not updates:
                 return
-            trace = self._channels[index].request(node.id, updates)
+            ctx = None
+            obs = self._obs
+            if obs is not None and obs.tracing:
+                current = obs.tracer.current()
+                if current is not None:
+                    ctx = current.as_tuple()
+            trace = self._channels[index].request(node.id, updates, ctx)
             node._mirror_trace(trace)
 
         return remote_drain

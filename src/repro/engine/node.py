@@ -48,6 +48,7 @@ from repro.engine.store import (
     TupleStore,
 )
 from repro.engine.tuples import SLOTTED, Fact
+from repro.obs import Observability
 
 
 @dataclass
@@ -91,6 +92,7 @@ class Node:
         shard_workers: int = 0,
         batch_commit_stall_s: float = 0.0,
         columnar: bool = False,
+        observability: Optional[Observability] = None,
     ):
         self.id = node_id
         self.compiled = compiled
@@ -168,6 +170,17 @@ class Node:
         #: ``("effects", effects, tags)`` entries instead of touching the
         #: network, and the coordinator replays them via :meth:`_mirror_trace`.
         self._trace: Optional[List[tuple]] = None
+        #: The runtime's :class:`~repro.obs.Observability` bundle, or ``None``
+        #: (the default — every instrumentation site below is one branch).
+        self.obs = observability
+        #: Worker-side drain trace context: the coordinator ships the ambient
+        #: ``(trace_id, span_id)`` with each remote drain request so spans
+        #: recorded in the worker carry correct parent ids (see
+        #: :func:`repro.engine.procpool.run_drain`).
+        self._obs_drain_ctx: Optional[Tuple[str, str]] = None
+        #: ``repr(node_id)`` computed once — the drain instrumentation path
+        #: stamps it on every span/event and must not re-render it per batch.
+        self._id_repr = repr(node_id)
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         network.register(node_id, self)
 
@@ -309,6 +322,7 @@ class Node:
         """
         if self._trace is not None:
             self._trace.append(("batch", list(updates)))
+        token = None if self.obs is None else self._obs_drain_begin()
         self.stats.updates_processed += len(updates)
         self.stats.batches_processed += 1
         if self.batch_commit_stall_s > 0.0:
@@ -317,6 +331,8 @@ class Node:
         if newly_present or disappeared:
             effects = self.evaluator.on_batch(newly_present, disappeared)
             self._handle_effects(effects)
+        if self.obs is not None:
+            self._obs_drain_end(token, len(updates))
 
     def _absorb_batch(
         self, updates: List[_PendingUpdate]
@@ -444,6 +460,48 @@ class Node:
                     )
                 )
 
+    # -- observability -----------------------------------------------------------
+
+    def _obs_drain_begin(self) -> Optional[object]:
+        """Start-of-batch telemetry token: a ``((trace_id, span_id), start)``
+        pair, or ``None`` when tracing is off / no trace is ambient.
+
+        This runs once per drain on the engine's hottest path, so both sides
+        use the primitive span-record fast lane (:meth:`Tracer.defer`) rather
+        than live :class:`~repro.obs.Span` objects — benchmark E20 gates the
+        cost."""
+        obs = self.obs
+        if obs is None or not obs.tracing:
+            return None
+        if self._trace is not None:
+            # Worker process: spans travel home in the drain trace; parent to
+            # the context the coordinator shipped with this drain request.
+            if self._obs_drain_ctx is None:
+                return None
+            return (self._obs_drain_ctx, time.perf_counter())
+        parent = obs.tracer.current()
+        if parent is None:
+            return None
+        return (parent.as_tuple(), time.perf_counter())
+
+    def _obs_drain_end(self, token: Optional[object], updates: int) -> None:
+        obs = self.obs
+        if obs is None:
+            return
+        if self._trace is None:
+            obs.recorder.record("drain", node=self._id_repr, updates=updates)
+        if token is None:
+            return
+        (trace_id, span_id), start = token
+        record = (
+            "drain", trace_id, span_id, self._id_repr,
+            start, time.perf_counter(), (("updates", updates),),
+        )
+        if self._trace is not None:
+            self._trace.append(("spans", [record]))
+        else:
+            obs.tracer.defer(record)
+
     # -- coordinator-side mirror of a worker drain trace -------------------------
 
     def _mirror_trace(self, trace: List[tuple]) -> None:
@@ -465,6 +523,13 @@ class Node:
                     self._mirror_single(entry[1])
                 elif kind == "effects":
                     self._mirror_effects(entry[1], entry[2])
+                elif kind == "spans":
+                    # Worker-side observability spans: re-home them into the
+                    # coordinator's tracer (parent ids were assigned from the
+                    # context shipped with the drain request, so the tree is
+                    # complete without translation).
+                    if self.obs is not None:
+                        self.obs.tracer.absorb(entry[1])
                 else:
                     raise EngineError(
                         f"node {self.id!r}: malformed worker trace entry {kind!r}"
@@ -475,6 +540,10 @@ class Node:
     def _mirror_batch(self, updates: List[_PendingUpdate]) -> None:
         self.stats.updates_processed += len(updates)
         self.stats.batches_processed += 1
+        if self.obs is not None:
+            self.obs.record_event(
+                "drain", node=self._id_repr, updates=len(updates), remote=True
+            )
         # The commit stall was paid in the worker (where stalls of distinct
         # workers overlap); the evaluator consequences arrive as the next
         # trace entries.

@@ -251,6 +251,10 @@ class TraceCodec:
                         [self._enc_tag(tag) for tag in entry[2]],
                     )
                 )
+            elif kind == "spans":
+                # Worker-side observability spans (repro.obs.tracing.SpanRecord):
+                # already primitives-only, so they travel verbatim.
+                encoded.append(entry)
             else:  # pragma: no cover - new trace kinds must extend the codec
                 raise ValueError(f"unknown trace entry kind {kind!r}")
         return encoded
@@ -271,6 +275,8 @@ class TraceCodec:
                         [self._dec_tag(ref) for ref in entry[2]],
                     )
                 )
+            elif kind == "spans":
+                trace.append(entry)
             else:  # pragma: no cover - symmetrical with encode_trace
                 raise ValueError(f"unknown trace entry kind {kind!r}")
         return trace
@@ -312,9 +318,11 @@ def worker_main(conn: "Connection", nodes: Dict[object, "Node"], owned_ids: Sequ
     """Serve drain envelopes until the coordinator sends the ``None`` sentinel.
 
     Each request envelope carries every same-worker drain the coordinator
-    had queued when the pipe came free: ``("drains", [(node_id, updates),
-    ...])`` with codec-encoded updates, or ``("raw", ...)`` with plain
-    pickled updates (the ``trace_delta=False`` ablation).  The reply is
+    had queued when the pipe came free: ``("drains", [(node_id, updates[,
+    trace_ctx]), ...])`` with codec-encoded updates (``trace_ctx`` is the
+    coordinator's ambient observability context, shipped only while tracing
+    is on), or ``("raw", ...)`` with plain pickled updates (the
+    ``trace_delta=False`` ablation).  The reply is
     ``("ok", [trace, ...])`` — one trace per drain, in request order — or
     ``("error", message)``, which the coordinator turns into an
     :class:`~repro.errors.EngineError`.
@@ -329,14 +337,23 @@ def worker_main(conn: "Connection", nodes: Dict[object, "Node"], owned_ids: Sequ
     owned = bootstrap_worker(nodes, owned_ids)
     codec = TraceCodec()
 
-    def run_drain(node: "Node", updates: List["_PendingUpdate"]) -> List[tuple]:
+    def run_drain(
+        node: "Node",
+        updates: List["_PendingUpdate"],
+        ctx: Optional[Tuple[str, str]] = None,
+    ) -> List[tuple]:
+        # ctx is the coordinator's ambient (trace_id, span_id) for this drain;
+        # the node's _obs_drain_begin parents its worker-side span to it and
+        # ships the span home as a ("spans", ...) trace entry.
         node._queue.extend(updates)
         node._trace = []
+        node._obs_drain_ctx = ctx
         try:
             node._drain()
             return node._trace
         finally:
             node._trace = None
+            node._obs_drain_ctx = None
 
     try:
         while True:
@@ -347,16 +364,21 @@ def worker_main(conn: "Connection", nodes: Dict[object, "Node"], owned_ids: Sequ
             try:
                 if kind == "drains":
                     requests = [
-                        (codec._dec_str(node_ref), codec.decode_updates(updates_enc))
-                        for node_ref, updates_enc in items
+                        (
+                            codec._dec_str(item[0]),
+                            codec.decode_updates(item[1]),
+                            item[2] if len(item) > 2 else None,
+                        )
+                        for item in items
                     ]
                     traces = [
-                        codec.encode_trace(run_drain(owned[node_id], updates))
-                        for node_id, updates in requests
+                        codec.encode_trace(run_drain(owned[node_id], updates, ctx))
+                        for node_id, updates, ctx in requests
                     ]
                 else:  # "raw": the trace_delta=False ablation path
                     traces = [
-                        run_drain(owned[node_id], updates) for node_id, updates in items
+                        run_drain(owned[item[0]], item[1], item[2] if len(item) > 2 else None)
+                        for item in items
                     ]
                 reply: Tuple[str, object] = ("ok", traces)
             except Exception as exc:  # pragma: no cover - shipped to the coordinator

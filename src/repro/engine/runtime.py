@@ -26,6 +26,7 @@ from repro.engine.simulator import Simulator
 from repro.engine.store import BASE_DERIVATION
 from repro.engine.topology import Topology
 from repro.engine.tuples import Fact
+from repro.obs import Observability, resolve_observability
 
 #: Environment variable consulted when ``query_cache_capacity`` is not set
 #: explicitly (parity with ``NETTRAILS_BACKEND``): an integer per-node LRU
@@ -56,6 +57,15 @@ COLUMNAR_ENV_VAR = "NETTRAILS_COLUMNAR"
 #: non-durable; a path that exists but is not a writable directory raises
 #: :class:`~repro.errors.EngineError` rather than being silently ignored.
 DURABLE_DIR_ENV_VAR = "NETTRAILS_DURABLE_DIR"
+
+#: Environment variable consulted when ``observability`` is not set
+#: explicitly: a boolean (``1/true/yes/on`` vs ``0/false/no/off``) that
+#: attaches the :mod:`repro.obs` subsystem (metrics registry, distributed
+#: query tracing, flight recorder) to the runtime.  Observability is purely
+#: additive telemetry: it is excluded from :func:`_durable_knobs`, from
+#: every ``deterministic_view`` and from all bit-identity contracts — the
+#: CI property matrix runs a leg with it enabled to prove that.
+OBSERVABILITY_ENV_VAR = "NETTRAILS_OBSERVABILITY"
 
 _TRUE_WORDS = ("1", "true", "yes", "on")
 _FALSE_WORDS = ("0", "false", "no", "off")
@@ -133,6 +143,25 @@ def default_columnar() -> bool:
         return False
     raise EngineError(
         f"{COLUMNAR_ENV_VAR}={raw!r} is not a boolean; use one of "
+        f"{_TRUE_WORDS + _FALSE_WORDS}"
+    )
+
+
+def default_observability() -> bool:
+    """The observability default: the env hook, else ``False``.
+
+    A value that is neither a true-word nor a false-word raises
+    :class:`~repro.errors.EngineError` rather than being silently ignored.
+    """
+    raw = os.environ.get(OBSERVABILITY_ENV_VAR, "").strip().lower()
+    if not raw:
+        return False
+    if raw in _TRUE_WORDS:
+        return True
+    if raw in _FALSE_WORDS:
+        return False
+    raise EngineError(
+        f"{OBSERVABILITY_ENV_VAR}={raw!r} is not a boolean; use one of "
         f"{_TRUE_WORDS + _FALSE_WORDS}"
     )
 
@@ -219,6 +248,12 @@ class NetTrailsRuntime:
     ``durable_dir`` (None)           write-ahead-log directory; turns on
                                      durable commit-per-quiescence-window mode
     ``wal_fsync`` (True)             fsync barrier per WAL append
+    ``observability`` (None)         attach the :mod:`repro.obs` telemetry
+                                     bundle (metrics registry, query tracing,
+                                     flight recorder): ``None`` = env hook
+                                     then off, ``True``/``False`` pin it, an
+                                     ``Observability`` instance is adopted
+                                     (several runtimes may share one)
     ================================ ==========================================
 
     **Environment hooks** — each is consulted only when the matching
@@ -236,6 +271,7 @@ class NetTrailsRuntime:
     ``NETTRAILS_INTERVAL_INDEX``     ``use_interval_index`` (boolean words)
     ``NETTRAILS_COLUMNAR``           ``columnar`` (boolean words)
     ``NETTRAILS_DURABLE_DIR``        ``durable_dir`` (a writable path)
+    ``NETTRAILS_OBSERVABILITY``      ``observability`` (boolean words)
     ================================ ==========================================
 
     See ``docs/performance.md`` for which backend/worker/shard/batch
@@ -278,6 +314,7 @@ class NetTrailsRuntime:
         use_interval_index: Optional[bool] = None,
         durable_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
         wal_fsync: bool = True,
+        observability: Union[None, bool, "Observability"] = None,
     ):
         self._program_source = program if isinstance(program, str) else None
         if isinstance(program, str):
@@ -362,6 +399,13 @@ class NetTrailsRuntime:
         if use_interval_index is None:
             use_interval_index = default_use_interval_index()
         self.use_interval_index = bool(use_interval_index)
+        #: The attached :class:`repro.obs.Observability` bundle, or ``None``
+        #: when the subsystem is off (the default).  ``None`` as the knob
+        #: consults ``NETTRAILS_OBSERVABILITY``.  Purely observational:
+        #: excluded from ``_durable_knobs()`` and every bit-identity surface.
+        self.obs: Optional[Observability] = resolve_observability(
+            observability, default_observability()
+        )
         self.nodes: Dict[object, Node] = {}
         for name in topology.nodes:
             self.nodes[name] = Node(
@@ -375,6 +419,7 @@ class NetTrailsRuntime:
                 shard_workers=shard_workers,
                 batch_commit_stall_s=batch_commit_stall_s,
                 columnar=self.columnar,
+                observability=self.obs,
             )
         for source, target, cost in topology.directed_edges():
             self.network.add_link(source, target, cost=cost, latency=link_latency)
@@ -384,6 +429,7 @@ class NetTrailsRuntime:
         # WAL — so workers inherit byte-identical stores and no file handles
         # they must not share.
         self.backend.attach(self)
+        self._bind_observability()
 
         #: Durable mode (see :mod:`repro.durability`): with ``durable_dir=``
         #: set — or the ``NETTRAILS_DURABLE_DIR`` hook — every mutator call
@@ -402,6 +448,70 @@ class NetTrailsRuntime:
             durable_dir = default_durable_dir()
         if durable_dir is not None:
             self._open_durable(durable_dir)
+
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def observability(self) -> bool:
+        """Whether the :mod:`repro.obs` subsystem is attached (see :attr:`obs`)."""
+        return self.obs is not None
+
+    def _bind_observability(self) -> None:
+        """Register registry views over the existing counter surfaces.
+
+        Views are lazy closures: the instrumented code keeps mutating its
+        plain counters and the registry only reads them at collect time, so
+        this costs nothing per event.  The ``subsystem.metric`` naming scheme
+        unifies what used to be five differently-shaped dict accessors (the
+        query-engine ``cache``/``interval`` views register themselves when a
+        :class:`~repro.core.query.DistributedQueryEngine` is built).
+        """
+        obs = self.obs
+        if obs is None:
+            return
+        import dataclasses
+
+        registry = obs.registry
+
+        def node_totals() -> Dict[str, object]:
+            totals: Dict[str, int] = {}
+            for node in self.nodes.values():
+                for key, value in dataclasses.asdict(node.stats).items():
+                    totals[key] = totals.get(key, 0) + value
+            return dict(totals)
+
+        registry.register_view("node", node_totals)
+        registry.register_view(
+            "simulator",
+            lambda: {
+                "rounds": self.simulator.rounds,
+                "events": self.simulator.processed_events,
+            },
+        )
+        registry.register_view(
+            "traffic",
+            lambda: {
+                key: value
+                for key, value in self.network.stats.snapshot().items()
+                if isinstance(value, (int, float))
+            },
+        )
+        provenance = self.provenance
+        if provenance is not None and hasattr(provenance, "vid_version_stats"):
+            registry.register_view("vid_versions", provenance.vid_version_stats)
+        if provenance is not None and hasattr(provenance, "interval_totals"):
+            registry.register_view("interval", provenance.interval_totals)
+        transport = getattr(self.backend, "transport_stats", None)
+        if transport is not None:
+            registry.register_view("transport", transport)
+
+        def wal_stats() -> Dict[str, object]:
+            wal = self._wal
+            if wal is None:
+                return {}
+            return wal.counters()
+
+        registry.register_view("wal", wal_stats)
 
     # -- durability -----------------------------------------------------------------
 
@@ -441,6 +551,8 @@ class NetTrailsRuntime:
         The execution backend is deliberately absent: the determinism
         contract makes every backend produce bit-identical state, so a
         recovering process picks its own (or the ``NETTRAILS_BACKEND`` hook).
+        ``observability`` is absent for the same reason — telemetry is
+        invisible to replayed state, so a recovering process decides afresh.
         """
         return {
             "default_latency": self._default_latency,
@@ -523,6 +635,8 @@ class NetTrailsRuntime:
             checkpoint_mod.checkpoint_payload(self, snapshot, batch, path),
         )
         checkpoint_mod.prune_snapshot_files(self.durable_dir, keep)
+        if self.obs is not None:
+            self.obs.record_event("checkpoint", batch=batch, path=str(path))
         return path
 
     # -- node access ----------------------------------------------------------------
@@ -732,6 +846,19 @@ class NetTrailsRuntime:
         so the WAL is strictly ahead of the in-memory state it describes.
         """
         self._commit_pending()
+        obs = self.obs
+        if obs is not None and obs.tracing and obs.tracer.current() is None:
+            # Root a "window" trace so drain spans (including worker-side
+            # ones mirrored home by the process backend) have a parent.
+            span = obs.tracer.start_span("window")
+            previous = obs.tracer.set_current(span.context())
+            try:
+                events = self.simulator.run_to_quiescence(max_events=max_events)
+            finally:
+                obs.tracer.set_current(previous)
+                span.finish()
+            span.attrs["events"] = events
+            return events
         return self.simulator.run_to_quiescence(max_events=max_events)
 
     @property

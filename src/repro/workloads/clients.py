@@ -56,11 +56,24 @@ class ClientReport:
     commits: int = 0
     seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)
+    #: Per-query-mode latency samples (``latencies`` partitioned by the mode
+    #: each call drew from the mix), for the mode-level breakdowns
+    #: ``MetricsReport`` carries.
+    mode_latencies: Dict[str, List[float]] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, float]:
         from repro.durability.service import latency_summary
 
         return latency_summary(self.latencies)
+
+    def mode_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-mode ``latency_summary`` payloads (shared histogram percentiles)."""
+        from repro.durability.service import latency_summary
+
+        return {
+            mode: latency_summary(samples)
+            for mode, samples in sorted(self.mode_latencies.items())
+        }
 
 
 def run_concurrent_clients(
@@ -105,6 +118,7 @@ def run_concurrent_clients(
                 report.issued += 1
                 report.errors += failed
                 report.latencies.append(elapsed)
+                report.mode_latencies.setdefault(mode, []).append(elapsed)
 
     started = time.perf_counter()
     threads = [

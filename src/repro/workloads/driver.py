@@ -100,6 +100,12 @@ class MetricsReport:
     #: :meth:`repro.durability.service.ServiceRuntime.latency_metrics`).
     #: Wall-clock, so *not* part of :meth:`deterministic_view`.
     latency: Dict[str, float] = field(default_factory=dict)
+    #: Per-query-mode latency breakdown: one ``latency_summary`` payload per
+    #: mode (``lineage`` / ``participants`` / ``subgraph``), filled either by
+    #: the driver from its per-wave-group timings or from a client fleet's
+    #: :meth:`repro.workloads.clients.ClientReport.mode_summaries`.
+    #: Wall-clock, so *not* part of :meth:`deterministic_view`.
+    latency_by_mode: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Recovery-time metrics (``genesis_seconds`` / ``checkpoint_seconds``,
     #: batches/ops replayed, truncated bytes) from
     #: :meth:`repro.durability.recovery.RecoveryResult.recovery_metrics`.
@@ -152,6 +158,10 @@ class MetricsReport:
         document["seconds"] = round(self.seconds, 3)
         if self.latency:
             document["latency"] = dict(self.latency)
+        if self.latency_by_mode:
+            document["latency_by_mode"] = {
+                mode: dict(summary) for mode, summary in self.latency_by_mode.items()
+            }
         if self.recovery:
             document["recovery"] = dict(self.recovery)
         for phase, rendered in zip(self.phases, document["phases"]):
@@ -195,6 +205,7 @@ class ScenarioDriver:
         )
         self._engine = None
         self._symmetric_links = True
+        self._mode_latencies: Dict[str, List[float]] = {}
         self.report: Optional[MetricsReport] = None
 
     def _protocol_module(self):
@@ -279,11 +290,15 @@ class ScenarioDriver:
             mode, options = key
             messages_before = self.runtime.message_stats().messages
             rounds_before = self.runtime.simulator.rounds
+            group_started = time.perf_counter()
             results = self._engine.query_batch(
                 mix.relation,
                 [list(call.values) for call in group],
                 mode=mode,
                 options=options,
+            )
+            self._mode_latencies.setdefault(mode, []).append(
+                time.perf_counter() - group_started
             )
             metrics.queries += len(results)
             metrics.query_messages += (
@@ -346,9 +361,20 @@ class ScenarioDriver:
             phases=list(phases.values()),
             cache=dict(self._engine.cache_totals()) if self._engine is not None else {},
             interval=dict(self._engine.interval_totals()) if self._engine is not None else {},
+            latency_by_mode=self._mode_latency_summaries(),
             seconds=time.perf_counter() - started,
         )
         return self.report
+
+    def _mode_latency_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-mode ``latency_summary`` of wave-group wall times (one sample
+        per issued ``query_batch`` group, labeled by its query mode)."""
+        from repro.durability.service import latency_summary
+
+        return {
+            mode: {key: round(value, 6) for key, value in latency_summary(samples).items()}
+            for mode, samples in sorted(self._mode_latencies.items())
+        }
 
 
 class _QueryPhaseKey:

@@ -155,6 +155,9 @@ class RuntimeKnobs:
     #: ``None`` defers to ``NETTRAILS_COLUMNAR`` (the CI matrix hook); an
     #: explicit bool pins the columnar join core on or off.
     columnar: Optional[bool] = None
+    #: ``None`` defers to ``NETTRAILS_OBSERVABILITY`` (the CI matrix hook);
+    #: an explicit bool pins the observability layer on or off.
+    observability: Optional[bool] = None
 
     def runtime_kwargs(self) -> Dict[str, object]:
         return {
@@ -166,6 +169,7 @@ class RuntimeKnobs:
             "query_cache_capacity": self.query_cache_capacity,
             "use_interval_index": self.use_interval_index,
             "columnar": self.columnar,
+            "observability": self.observability,
         }
 
 

@@ -1,10 +1,10 @@
 """One parameterized parity suite for every ``NETTRAILS_*`` environment hook.
 
-The engine exposes six construction-time knobs through the environment —
+The engine exposes seven construction-time knobs through the environment —
 ``NETTRAILS_BACKEND``, ``NETTRAILS_BACKEND_WORKERS``,
 ``NETTRAILS_QUERY_CACHE_CAPACITY``, ``NETTRAILS_COLUMNAR``,
-``NETTRAILS_INTERVAL_INDEX`` and ``NETTRAILS_DURABLE_DIR`` — and they all
-promise the same contract:
+``NETTRAILS_INTERVAL_INDEX``, ``NETTRAILS_OBSERVABILITY`` and
+``NETTRAILS_DURABLE_DIR`` — and they all promise the same contract:
 
 * unset or empty/whitespace value ⇒ the built-in default, silently;
 * a well-formed value ⇒ applied to every runtime built afterwards;
@@ -28,6 +28,7 @@ from repro.engine.runtime import (
     COLUMNAR_ENV_VAR,
     DURABLE_DIR_ENV_VAR,
     INTERVAL_INDEX_ENV_VAR,
+    OBSERVABILITY_ENV_VAR,
     NetTrailsRuntime,
 )
 from repro.engine.backends import (
@@ -84,6 +85,13 @@ HOOKS = {
         "default": False,
         "malformed": ["columnar-ish", "2"],
     },
+    OBSERVABILITY_ENV_VAR: {
+        "valid": "on",
+        "observe": lambda runtime: runtime.obs is not None,
+        "expect": True,
+        "default": False,
+        "malformed": ["observably", "2"],
+    },
 }
 
 
@@ -101,6 +109,7 @@ def clean_hooks(monkeypatch):
         CACHE_CAPACITY_ENV_VAR,
         COLUMNAR_ENV_VAR,
         INTERVAL_INDEX_ENV_VAR,
+        OBSERVABILITY_ENV_VAR,
         DURABLE_DIR_ENV_VAR,
     ):
         monkeypatch.delenv(var, raising=False)
@@ -134,16 +143,19 @@ class TestHookParity:
         monkeypatch.setenv(CACHE_CAPACITY_ENV_VAR, "17")
         monkeypatch.setenv(INTERVAL_INDEX_ENV_VAR, "1")
         monkeypatch.setenv(COLUMNAR_ENV_VAR, "1")
+        monkeypatch.setenv(OBSERVABILITY_ENV_VAR, "1")
         with build_runtime(
             backend="serial",
             query_cache_capacity=5,
             use_interval_index=False,
             columnar=False,
+            observability=False,
         ) as runtime:
             assert runtime.backend.name == "serial"
             assert runtime.query_cache_capacity == 5
             assert runtime.use_interval_index is False
             assert runtime.columnar is False
+            assert runtime.obs is None
 
     def test_explicit_backend_workers_beats_hook(self, monkeypatch):
         monkeypatch.setenv(BACKEND_WORKERS_ENV_VAR, "7")
